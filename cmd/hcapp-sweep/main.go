@@ -1,0 +1,62 @@
+// Command hcapp-sweep runs the chiplet-count scalability sweep: the same
+// workload replicated across 1..N compute-chiplet triples, controlled
+// either by HCAPP (whose 1 µs control period is set by power-delivery
+// physics and independent of system size) or by a centralized controller
+// whose period grows with the metric-aggregation latency of the nodes it
+// must poll (paper §1 problem 3, §2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hcapp/internal/config"
+	"hcapp/internal/experiment"
+	"hcapp/internal/noc"
+	"hcapp/internal/sim"
+)
+
+func main() {
+	counts := flag.String("counts", "1,2,4,8", "comma-separated chiplet-triple counts")
+	combo := flag.String("combo", "Burst-Burst", "workload combination")
+	durMS := flag.Float64("dur", 3, "run length per point, milliseconds")
+	msgNS := flag.Int64("msg-ns", 120, "per-message serialization on the collection network, ns")
+	tree := flag.Bool("tree", false, "use an aggregation tree instead of a shared bus")
+	flag.Parse()
+
+	sc := experiment.DefaultScalingConfig()
+	sc.Dur = sim.Time(*durMS * float64(sim.Millisecond))
+	if *tree {
+		sc.Network = noc.DefaultTree()
+	}
+	sc.Network.MsgSerialization = sim.Time(*msgNS)
+
+	c, err := experiment.ComboByName(*combo)
+	if err != nil {
+		fatal(err)
+	}
+	sc.Combo = c
+
+	sc.ChipletCounts = nil
+	for _, part := range strings.Split(*counts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad count %q: %w", part, err))
+		}
+		sc.ChipletCounts = append(sc.ChipletCounts, n)
+	}
+
+	res, err := experiment.RunScaling(config.Default(), sc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Render())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hcapp-sweep:", err)
+	os.Exit(1)
+}

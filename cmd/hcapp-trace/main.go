@@ -1,0 +1,157 @@
+// Command hcapp-trace dumps power traces as CSV: the Figure 1 static
+// trace (normalized to average power) and the Figure 2 multi-window
+// view, plus per-component traces and controlled-run traces for
+// inspecting HCAPP behaviour.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hcapp/internal/config"
+	"hcapp/internal/experiment"
+	"hcapp/internal/export"
+	"hcapp/internal/sim"
+	"hcapp/internal/trace"
+)
+
+func main() {
+	fig := flag.Int("fig", 1, "1: static trace; 2: windowed views; 3: controlled-run power+voltage")
+	comboName := flag.String("combo", "Burst-Burst", "workload combination")
+	durMS := flag.Float64("dur", 16, "run length, milliseconds")
+	sampleUS := flag.Float64("sample", 20, "sample spacing, microseconds")
+	scheme := flag.String("scheme", "fixed-voltage", "fixed-voltage | hcapp | rapl-like | sw-like")
+	flag.Parse()
+
+	ev := experiment.NewEvaluator().WithTargetDur(sim.Time(*durMS * float64(sim.Millisecond)))
+	combo, err := experiment.ComboByName(*comboName)
+	if err != nil {
+		fatal(err)
+	}
+	sample := sim.Time(*sampleUS * float64(sim.Microsecond))
+
+	switch *fig {
+	case 1:
+		pts, avg, err := traceFor(ev, combo, config.SchemeKind(*scheme), sample)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# combo=%s scheme=%s avg_power_w=%.2f\n", combo.Name, *scheme, avg)
+		fmt.Println("time_us,power_normalized")
+		for _, p := range pts {
+			fmt.Printf("%.1f,%.4f\n", float64(p.T)/float64(sim.Microsecond), p.P)
+		}
+	case 2:
+		windows := []sim.Time{20 * sim.Microsecond, 1 * sim.Millisecond, 10 * sim.Millisecond}
+		series, avg, err := ev.Fig2(combo, windows, sample)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# combo=%s avg_power_w=%.2f\n", combo.Name, avg)
+		fmt.Println("time_us,win20us,win1ms,win10ms")
+		n := len(series[windows[0]])
+		for _, w := range windows[1:] {
+			if len(series[w]) < n {
+				n = len(series[w])
+			}
+		}
+		for i := 0; i < n; i++ {
+			fmt.Printf("%.1f,%.4f,%.4f,%.4f\n",
+				float64(series[windows[0]][i].T)/float64(sim.Microsecond),
+				series[windows[0]][i].P, series[windows[1]][i].P, series[windows[2]][i].P)
+		}
+	case 3:
+		if err := voltageTrace(ev, combo, config.SchemeKind(*scheme), sample); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown figure %d", *fig))
+	}
+}
+
+// voltageTrace runs one combo with component and voltage tracking and
+// emits aligned power/voltage CSV columns — the view of the controller
+// at work.
+func voltageTrace(ev *experiment.Evaluator, combo experiment.Combo, kind config.SchemeKind, sample sim.Time) error {
+	scheme := config.Scheme{Kind: kind, FixedV: ev.FixedV}
+	if kind != config.FixedVoltage {
+		var err error
+		scheme, err = config.SchemeByKind(kind)
+		if err != nil {
+			return err
+		}
+	}
+	sizing, err := experiment.SizeWork(ev.Cfg, combo, ev.FixedV, ev.TargetDur)
+	if err != nil {
+		return err
+	}
+	opts := experiment.BuildOptions{
+		Scheme:          scheme,
+		CPUWork:         sizing.CPUWork,
+		GPUWork:         sizing.GPUWork,
+		AccelWorkGB:     sizing.AccelGB,
+		TrackComponents: true,
+	}
+	if kind != config.FixedVoltage {
+		opts.TargetPower = experiment.TargetPowerFor(config.PackagePinLimit())
+	}
+	sys, err := experiment.Build(ev.Cfg, combo, opts)
+	if err != nil {
+		return err
+	}
+	sys.Engine.RunFor(ev.TargetDur)
+	rec := sys.Engine.Recorder()
+	names := []string{"total_w", "cpu_w", "gpu_w", "sha_w", "rail_v", "vcpu_v", "vgpu_v"}
+	series := [][]trace.Point{
+		rec.Series(sample),
+		rec.ComponentSeries("cpu", sample),
+		rec.ComponentSeries("gpu", sample),
+		rec.ComponentSeries("sha", sample),
+		rec.ComponentSeries("voltage:rail", sample),
+		rec.ComponentSeries("voltage:cpu", sample),
+		rec.ComponentSeries("voltage:gpu", sample),
+	}
+	fmt.Printf("# combo=%s scheme=%s\n", combo.Name, scheme.Kind)
+	return export.WriteSeriesCSV(os.Stdout, names, series...)
+}
+
+// traceFor runs one combo under the named scheme and returns its
+// normalized trace.
+func traceFor(ev *experiment.Evaluator, combo experiment.Combo, kind config.SchemeKind, sample sim.Time) ([]trace.Point, float64, error) {
+	if kind == config.FixedVoltage {
+		return ev.Fig1(combo, sample)
+	}
+	scheme, err := config.SchemeByKind(kind)
+	if err != nil {
+		return nil, 0, err
+	}
+	sizing, err := experiment.SizeWork(ev.Cfg, combo, ev.FixedV, ev.TargetDur)
+	if err != nil {
+		return nil, 0, err
+	}
+	sys, err := experiment.Build(ev.Cfg, combo, experiment.BuildOptions{
+		Scheme:      scheme,
+		TargetPower: experiment.TargetPowerFor(config.PackagePinLimit()),
+		CPUWork:     sizing.CPUWork,
+		GPUWork:     sizing.GPUWork,
+		AccelWorkGB: sizing.AccelGB,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	sys.Engine.RunFor(ev.TargetDur)
+	rec := sys.Engine.Recorder()
+	avg := rec.AvgPower()
+	raw := rec.Series(sample)
+	out := make([]trace.Point, len(raw))
+	for i, p := range raw {
+		out[i] = trace.Point{T: p.T, P: p.P / avg}
+	}
+	return out, avg, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hcapp-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+package hcapp_test
+
+import (
+	"fmt"
+	"strings"
+
+	"hcapp"
+)
+
+// The delay budget of Table 1 shows the control round trip fits the
+// 1 µs HCAPP period.
+func ExampleTable1Feasible() {
+	fmt.Println(hcapp.Table1Feasible())
+	// Output: true
+}
+
+// Table 3 defines the heterogeneous test suite.
+func ExampleSuite() {
+	for _, c := range hcapp.Suite()[:3] {
+		fmt.Printf("%s: %s + %s\n", c.Name, c.CPU.Name, c.GPU.Name)
+	}
+	// Output:
+	// Burst-Burst: ferret + bfs
+	// Burst-Low: ferret + myocyte
+	// Const-Burst: swaptions + bfs
+}
+
+// Custom workloads load from JSON and slot into custom suites.
+func ExampleLoadBenchmarks() {
+	specs := `[{"name": "mykernel", "target": "gpu", "class": "Hi",
+		"kind": "constant", "phase_dur_us": 100,
+		"ipc": 1.4, "mem_frac": 0.3, "activity": 0.7, "stall_act": 0.1}]`
+	custom, err := hcapp.LoadBenchmarks(strings.NewReader(specs))
+	if err != nil {
+		panic(err)
+	}
+	combos, err := hcapp.ParseSuite(
+		strings.NewReader(`[{"name": "Mine", "cpu": "swaptions", "gpu": "mykernel"}]`),
+		custom)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s runs %s on the GPU\n", combos[0].Name, combos[0].GPU.Name)
+	// Output: Mine runs mykernel on the GPU
+}
+
+// Power limits pair a wattage with the time window it is evaluated
+// over (paper §1).
+func ExamplePackagePinLimit() {
+	fast := hcapp.PackagePinLimit()
+	slow := hcapp.OffPackageVRLimit()
+	fmt.Printf("%s: %.0f W / %d µs\n", fast.Name, fast.Watts, fast.Window/hcapp.Microsecond)
+	fmt.Printf("%s: %.0f W / %d ms\n", slow.Name, slow.Watts, slow.Window/hcapp.Millisecond)
+	// Output:
+	// package-pin: 100 W / 20 µs
+	// off-package-vr: 100 W / 1 ms
+}
+
+// The §5.3 software interface expresses priorities as register values:
+// the prioritized component keeps 1.0 and the others run at 0.9.
+func ExamplePriorityFor() {
+	p := hcapp.PriorityFor("gpu")
+	fmt.Printf("cpu=%.1f gpu=%.1f sha=%.1f\n", p["cpu"], p["gpu"], p["sha"])
+	// Output: cpu=0.9 gpu=1.0 sha=0.9
+}
+
+// Running one combo under HCAPP and checking the power limit held.
+func ExampleEvaluator_Run() {
+	ev := hcapp.NewEvaluator().WithTargetDur(1 * hcapp.Millisecond)
+	combo, _ := hcapp.ComboByName("Low-Low")
+	res, err := ev.Run(hcapp.RunSpec{
+		Combo:  combo,
+		Scheme: hcapp.HCAPPScheme(),
+		Limit:  hcapp.PackagePinLimit(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("violated:", res.Violated)
+	// Output: violated: false
+}

@@ -1,0 +1,62 @@
+// Adversarial: the §3.3.3 thought experiment. A local controller is free
+// logic supplied by each component vendor — so what if one lies and
+// "always uses all of the available voltage possible, ignoring any local
+// metric information"? HCAPP's global controller only ever sees total
+// package power, so the limit must hold anyway; the adversary can only
+// steal performance from its neighbours.
+//
+// This example runs Hi-Hi twice — accelerator with its honest
+// pass-through controller, then with the adversarial one — and shows
+// that the package stays inside the power limit both times.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hcapp"
+)
+
+func main() {
+	cfg := hcapp.DefaultConfig()
+	combo, err := hcapp.ComboByName("Hi-Hi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	limit := hcapp.PackagePinLimit()
+	dur := 6 * hcapp.Millisecond
+
+	sizing, err := hcapp.SizeWork(cfg, combo, 0.95, dur)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Adversarial accelerator local controller on %s (HCAPP, %s)\n\n", combo.Name, limit.Name)
+	fmt.Printf("%-14s %12s %10s %8s %16s\n", "accelerator", "max-power/W", "violates", "PPE", "cpu completion")
+	for _, adversarial := range []bool{false, true} {
+		sys, err := hcapp.Build(cfg, combo, hcapp.BuildOptions{
+			Scheme:           hcapp.HCAPPScheme(),
+			TargetPower:      hcapp.TargetPowerFor(limit),
+			CPUWork:          sizing.CPUWork,
+			GPUWork:          sizing.GPUWork,
+			AccelWorkGB:      sizing.AccelGB,
+			AdversarialAccel: adversarial,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sys.Engine.Run(3 * dur)
+		rec := sys.Engine.Recorder()
+		maxP := rec.MaxWindowAvg(limit.Window)
+		name := "pass-through"
+		if adversarial {
+			name = "adversarial"
+		}
+		fmt.Printf("%-14s %12.1f %10v %7.1f%% %14dµs\n",
+			name, maxP, maxP > limit.Watts, 100*rec.PPE(limit.Watts),
+			res.Completion["cpu"]/hcapp.Microsecond)
+	}
+
+	fmt.Println("\nThe power limit holds either way: the global controller prices in")
+	fmt.Println("whatever the adversary draws, and only its neighbours pay (§3.3.3).")
+}

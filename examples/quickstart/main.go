@@ -1,0 +1,58 @@
+// Quickstart: run one Table 3 workload combination under all four power
+// control schemes at the package-pin limit (100 W / 20 µs) and compare
+// maximum window power, provisioned power efficiency and speedup — a
+// miniature of the paper's §5.1 evaluation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hcapp"
+)
+
+func main() {
+	ev := hcapp.NewEvaluator()
+	// Short runs for a snappy demo; the full evaluation uses the
+	// default 16 ms target duration.
+	ev.WithTargetDur(6 * hcapp.Millisecond)
+
+	combo, err := hcapp.ComboByName("Const-Burst")
+	if err != nil {
+		log.Fatal(err)
+	}
+	limit := hcapp.PackagePinLimit()
+
+	schemes := []hcapp.Scheme{
+		ev.FixedScheme(),
+		hcapp.HCAPPScheme(),
+		hcapp.RAPLLikeScheme(),
+		hcapp.SWLikeScheme(),
+	}
+
+	base, err := ev.Run(hcapp.RunSpec{Combo: combo, Scheme: ev.FixedScheme(), Limit: limit})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Workload %s under the %s limit (%.0f W / %s window)\n\n",
+		combo.Name, limit.Name, limit.Watts, fmtWindow(limit))
+	fmt.Printf("%-18s %12s %10s %8s %9s %9s\n",
+		"scheme", "max-power/W", "violates", "PPE", "speedup", "avg/W")
+	for _, s := range schemes {
+		res, err := ev.Run(hcapp.RunSpec{Combo: combo, Scheme: s, Limit: limit})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, speedup := res.SpeedupOver(base)
+		fmt.Printf("%-18s %12.1f %10v %7.1f%% %9.3f %9.1f\n",
+			s.String(), res.MaxWindowPower, res.Violated, 100*res.PPE, speedup, res.AvgPower)
+	}
+
+	fmt.Println("\nA scheme whose max power exceeds the limit is invalid for this")
+	fmt.Println("window: only a fast decentralized controller tracks 20 µs bursts.")
+}
+
+func fmtWindow(l hcapp.PowerLimit) string {
+	return fmt.Sprintf("%dµs", l.Window/hcapp.Microsecond)
+}

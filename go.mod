@@ -1,0 +1,3 @@
+module hcapp
+
+go 1.22

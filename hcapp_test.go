@@ -1,0 +1,123 @@
+package hcapp_test
+
+import (
+	"strings"
+	"testing"
+
+	"hcapp"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := hcapp.DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestSchemeConstructors(t *testing.T) {
+	if s := hcapp.HCAPPScheme(); s.Kind != hcapp.HCAPP || s.ControlPeriod != hcapp.Microsecond {
+		t.Fatalf("HCAPPScheme = %+v", s)
+	}
+	if s := hcapp.RAPLLikeScheme(); s.ControlPeriod != 100*hcapp.Microsecond {
+		t.Fatalf("RAPLLikeScheme = %+v", s)
+	}
+	if s := hcapp.SWLikeScheme(); s.ControlPeriod != 10*hcapp.Millisecond {
+		t.Fatalf("SWLikeScheme = %+v", s)
+	}
+	if s := hcapp.FixedVoltageScheme(0.95); s.Kind != hcapp.FixedVoltage || s.FixedV != 0.95 {
+		t.Fatalf("FixedVoltageScheme = %+v", s)
+	}
+}
+
+func TestLimits(t *testing.T) {
+	fast := hcapp.PackagePinLimit()
+	if fast.Watts != 100 || fast.Window != 20*hcapp.Microsecond {
+		t.Fatalf("fast limit %+v", fast)
+	}
+	slow := hcapp.OffPackageVRLimit()
+	if slow.Window != hcapp.Millisecond {
+		t.Fatalf("slow limit %+v", slow)
+	}
+	if hcapp.TargetPowerFor(fast) >= hcapp.TargetPowerFor(slow) {
+		t.Fatal("fast target must carry a larger guardband")
+	}
+}
+
+func TestSuiteAndLookup(t *testing.T) {
+	if got := len(hcapp.Suite()); got != 8 {
+		t.Fatalf("suite size %d", got)
+	}
+	c, err := hcapp.ComboByName("Hi-Hi")
+	if err != nil || c.Name != "Hi-Hi" {
+		t.Fatalf("ComboByName: %+v, %v", c, err)
+	}
+}
+
+func TestTables(t *testing.T) {
+	if !strings.Contains(hcapp.Table1(), "147-617") {
+		t.Fatal("Table1 content")
+	}
+	if !hcapp.Table1Feasible() {
+		t.Fatal("Table1 infeasible")
+	}
+	if !strings.Contains(hcapp.Table3(), "Modeled") {
+		t.Fatal("Table3 content")
+	}
+	if total := hcapp.DelayBudget().Total(); total.Max != 617 {
+		t.Fatalf("DelayBudget total %+v", total)
+	}
+}
+
+func TestPriorityFor(t *testing.T) {
+	p := hcapp.PriorityFor("sha")
+	if p["sha"] != 1.0 || p["cpu"] != 0.9 {
+		t.Fatalf("PriorityFor = %v", p)
+	}
+}
+
+func TestBuildAndRunDirect(t *testing.T) {
+	cfg := hcapp.DefaultConfig()
+	combo, err := hcapp.ComboByName("Low-Low")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizing, err := hcapp.SizeWork(cfg, combo, 0.95, 1*hcapp.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := hcapp.Build(cfg, combo, hcapp.BuildOptions{
+		Scheme:      hcapp.HCAPPScheme(),
+		TargetPower: hcapp.TargetPowerFor(hcapp.PackagePinLimit()),
+		CPUWork:     sizing.CPUWork,
+		GPUWork:     sizing.GPUWork,
+		AccelWorkGB: sizing.AccelGB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Engine.Run(5 * hcapp.Millisecond)
+	if !res.Completed {
+		t.Fatal("direct run did not complete")
+	}
+	if sys.Engine.Recorder().AvgPower() <= 0 {
+		t.Fatal("no power recorded")
+	}
+}
+
+func TestEvaluatorThroughPublicAPI(t *testing.T) {
+	ev := hcapp.NewEvaluator().WithTargetDur(1 * hcapp.Millisecond)
+	combo, err := hcapp.ComboByName("Mid-Mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ev.Run(hcapp.RunSpec{
+		Combo:  combo,
+		Scheme: hcapp.HCAPPScheme(),
+		Limit:  hcapp.PackagePinLimit(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PPE <= 0 || res.MaxWindowPower <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}

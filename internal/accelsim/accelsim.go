@@ -1,0 +1,160 @@
+// Package accelsim models the SHA accelerator chiplet exactly the way the
+// paper did (§4.4): a lookup table mapping supply voltage to throughput
+// and power, digitized from the Suresh et al. unified SHA256/SM3 hashing
+// engine (ESSCIRC 2018) and scaled from a single 14 nm core to a
+// chiplet-sized array.
+//
+// "The total work that the accelerator has to complete is modeled as a
+// fixed number. ... Each control cycle, we subtract the work done during
+// that cycle from the total work. When the total work is less than or
+// equal to zero, the accelerator can enter an idle state."
+package accelsim
+
+import (
+	"fmt"
+
+	"hcapp/internal/config"
+	"hcapp/internal/core"
+	"hcapp/internal/power"
+	"hcapp/internal/sim"
+)
+
+// Accel is the SHA accelerator component. It implements sim.Component.
+type Accel struct {
+	name      string
+	powerLUT  *power.LUT
+	tputLUT   *power.LUT // GB/s as a function of voltage
+	vMin      float64    // undervoltage protection threshold
+	vMax      float64    // overvoltage protection threshold
+	idlePower float64
+
+	local core.Local
+
+	totalWork float64 // bytes to hash
+	doneWork  float64
+	doneAt    sim.Time
+	lastPower float64
+}
+
+// Options selects the accelerator's work pool and local controller.
+type Options struct {
+	// TotalWorkGB is the number of gigabytes to hash; zero runs forever.
+	TotalWorkGB float64
+	// Local overrides the default pass-through local controller
+	// (e.g. core.Adversarial for the §3.3.3 ablation). Nil selects
+	// pass-through protection over the LUT's voltage domain.
+	Local core.Local
+}
+
+// New builds the accelerator from its configuration.
+func New(cfg config.AccelConfig, opts Options) (*Accel, error) {
+	plut, err := power.NewLUT(cfg.VPoints, cfg.PowerW)
+	if err != nil {
+		return nil, fmt.Errorf("accelsim: power LUT: %w", err)
+	}
+	tlut, err := power.NewLUT(cfg.VPoints, cfg.ThroughputGBs)
+	if err != nil {
+		return nil, fmt.Errorf("accelsim: throughput LUT: %w", err)
+	}
+	if cfg.IdlePower < 0 {
+		return nil, fmt.Errorf("accelsim: negative idle power %g", cfg.IdlePower)
+	}
+	if opts.TotalWorkGB < 0 {
+		return nil, fmt.Errorf("accelsim: negative work %g", opts.TotalWorkGB)
+	}
+	lo, hi := plut.Domain()
+	local := opts.Local
+	if local == nil {
+		pt, err := core.NewPassThrough(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		local = pt
+	}
+	return &Accel{
+		name:      "sha",
+		powerLUT:  plut,
+		tputLUT:   tlut,
+		vMin:      lo,
+		vMax:      hi,
+		idlePower: cfg.IdlePower,
+		local:     local,
+		totalWork: opts.TotalWorkGB,
+		doneAt:    -1,
+	}, nil
+}
+
+// Name implements sim.Component.
+func (a *Accel) Name() string { return a.name }
+
+// Done implements sim.Component.
+func (a *Accel) Done() bool { return a.totalWork > 0 && a.doneWork >= a.totalWork }
+
+// Progress implements sim.Component.
+func (a *Accel) Progress() float64 {
+	if a.totalWork <= 0 {
+		return 0
+	}
+	p := a.doneWork / a.totalWork
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// CompletionTime returns when the accelerator finished, or -1.
+func (a *Accel) CompletionTime() sim.Time { return a.doneAt }
+
+// LastPower returns the power drawn on the most recent step.
+func (a *Accel) LastPower() float64 { return a.lastPower }
+
+// ThroughputAt exposes the LUT (GB/s at voltage v) for sizing work pools.
+func (a *Accel) ThroughputAt(v float64) float64 {
+	v = a.effectiveV(v)
+	if v < a.vMin {
+		return 0
+	}
+	return a.tputLUT.At(v)
+}
+
+func (a *Accel) effectiveV(vdd float64) float64 {
+	// The pass-through (or adversarial) local controller supplies the
+	// ratio; accelerators expose no IPC/occupancy metrics.
+	ratio := a.local.Epoch(0, core.Metrics{}, vdd)
+	return vdd * ratio
+}
+
+// Step implements sim.Component.
+func (a *Accel) Step(now sim.Time, dt sim.Time, vdd float64) sim.StepResult {
+	v := a.effectiveV(vdd)
+	if a.Done() || v < a.vMin {
+		// Idle, or under the undervoltage-protection threshold: the
+		// array is power-gated.
+		a.lastPower = a.idlePower
+		return sim.StepResult{Power: a.idlePower}
+	}
+	p := a.powerLUT.At(v)
+	work := a.tputLUT.At(v) * sim.Seconds(dt)
+	if a.totalWork > 0 {
+		a.doneWork += work
+		if a.Done() && a.doneAt < 0 {
+			a.doneAt = now
+		}
+	}
+	a.lastPower = p
+	return sim.StepResult{Power: p, Work: work}
+}
+
+// SetTotalWork assigns the work pool in GB.
+func (a *Accel) SetTotalWork(gb float64) { a.totalWork = gb }
+
+// TotalWork returns the assigned work pool in GB.
+func (a *Accel) TotalWork() float64 { return a.totalWork }
+
+// Reset implements sim.Resetter.
+func (a *Accel) Reset() {
+	a.doneWork = 0
+	a.doneAt = -1
+	a.lastPower = 0
+	a.local.Reset()
+}

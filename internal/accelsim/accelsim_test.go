@@ -1,0 +1,183 @@
+package accelsim
+
+import (
+	"math"
+	"testing"
+
+	"hcapp/internal/config"
+	"hcapp/internal/core"
+	"hcapp/internal/sim"
+)
+
+func accelCfg() config.AccelConfig {
+	return config.Default().Accel
+}
+
+func TestNewErrors(t *testing.T) {
+	c := accelCfg()
+	c.PowerW = c.PowerW[:2]
+	if _, err := New(c, Options{}); err == nil {
+		t.Fatal("mismatched LUT accepted")
+	}
+	c = accelCfg()
+	c.IdlePower = -1
+	if _, err := New(c, Options{}); err == nil {
+		t.Fatal("negative idle power accepted")
+	}
+	c = accelCfg()
+	if _, err := New(c, Options{TotalWorkGB: -1}); err == nil {
+		t.Fatal("negative work accepted")
+	}
+}
+
+func TestPowerAndThroughputFollowLUT(t *testing.T) {
+	a, err := New(accelCfg(), Options{TotalWorkGB: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At an exact LUT point the values must match the table.
+	res := a.Step(100, 1000, 0.70)
+	if math.Abs(res.Power-8.0) > 1e-9 {
+		t.Fatalf("power at 0.70 V = %g, want 8.0", res.Power)
+	}
+	wantWork := 113.0 * 1e-6 // GB/s × 1 µs
+	if math.Abs(res.Work-wantWork) > 1e-12 {
+		t.Fatalf("work = %g, want %g", res.Work, wantWork)
+	}
+}
+
+func TestThroughputMonotoneInVoltage(t *testing.T) {
+	a, err := New(accelCfg(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for v := 0.25; v <= 0.95; v += 0.01 {
+		tp := a.ThroughputAt(v)
+		if tp < prev {
+			t.Fatalf("throughput not monotone at %g V", v)
+		}
+		prev = tp
+	}
+}
+
+func TestUndervoltageProtection(t *testing.T) {
+	a, err := New(accelCfg(), Options{TotalWorkGB: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.Step(100, 1000, 0.10) // below the 0.23 V LUT floor
+	if res.Work != 0 {
+		t.Fatalf("work below VMin: %g", res.Work)
+	}
+	if res.Power != accelCfg().IdlePower {
+		t.Fatalf("power below VMin = %g, want idle", res.Power)
+	}
+	if a.ThroughputAt(0.10) != 0 {
+		t.Fatal("ThroughputAt below VMin should be 0")
+	}
+}
+
+func TestWorkPoolAndIdle(t *testing.T) {
+	// Pool sized to finish in exactly ~2 ms at 0.7125 V.
+	a, err := New(accelCfg(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := a.ThroughputAt(0.7125)
+	a.SetTotalWork(rate * 2e-3)
+	if a.TotalWork() != rate*2e-3 {
+		t.Fatal("SetTotalWork not applied")
+	}
+	var now sim.Time
+	for !a.Done() && now < 10*sim.Millisecond {
+		now += 1000
+		a.Step(now, 1000, 0.7125)
+	}
+	if !a.Done() {
+		t.Fatal("never finished")
+	}
+	ct := a.CompletionTime()
+	if ct < 1900*sim.Microsecond || ct > 2100*sim.Microsecond {
+		t.Fatalf("completed at %s, want ≈2ms", sim.FormatTime(ct))
+	}
+	if a.Progress() != 1 {
+		t.Fatalf("progress = %g", a.Progress())
+	}
+	// "When the total work is less than or equal to zero, the
+	// accelerator can enter an idle state" (§4.4).
+	res := a.Step(now+1000, 1000, 0.7125)
+	if res.Power != accelCfg().IdlePower || res.Work != 0 {
+		t.Fatalf("idle state: %+v", res)
+	}
+}
+
+func TestZeroWorkRunsForever(t *testing.T) {
+	a, err := New(accelCfg(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		a.Step(sim.Time(i)*1000, 1000, 0.7)
+	}
+	if a.Done() {
+		t.Fatal("zero-work accelerator done")
+	}
+	if a.Progress() != 0 {
+		t.Fatalf("progress = %g", a.Progress())
+	}
+}
+
+func TestOvervoltageProtection(t *testing.T) {
+	// The pass-through controller clamps delivered voltage at the LUT
+	// ceiling: power at 2 V equals power at 0.95 V.
+	a, err := New(accelCfg(), Options{TotalWorkGB: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := a.Step(100, 1000, 2.0).Power
+	b, _ := New(accelCfg(), Options{TotalWorkGB: 1e9})
+	top := b.Step(100, 1000, 0.95).Power
+	if math.Abs(high-top) > 1e-9 {
+		t.Fatalf("overvoltage power %g, want clamp to %g", high, top)
+	}
+}
+
+func TestAdversarialLocalDrawsMore(t *testing.T) {
+	honest, err := New(accelCfg(), Options{TotalWorkGB: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := New(accelCfg(), Options{TotalWorkGB: 1e9, Local: core.Adversarial{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := 0.70
+	ph := honest.Step(100, 1000, v).Power
+	pa := adv.Step(100, 1000, v).Power
+	if pa <= ph {
+		t.Fatalf("adversarial power %g not above honest %g", pa, ph)
+	}
+}
+
+func TestReset(t *testing.T) {
+	a, err := New(accelCfg(), Options{TotalWorkGB: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Step(100, sim.Millisecond, 0.9)
+	if !a.Done() {
+		t.Fatal("setup: should be done")
+	}
+	a.Reset()
+	if a.Done() || a.Progress() != 0 || a.CompletionTime() != -1 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestName(t *testing.T) {
+	a, _ := New(accelCfg(), Options{})
+	if a.Name() != "sha" {
+		t.Fatalf("name %q", a.Name())
+	}
+}

@@ -1,0 +1,150 @@
+// Package analysis characterizes power traces and workload traces with
+// the statistics the paper's benchmark selection implicitly relies on
+// ("this subset captures a wide variety of power behavior", §4.2): how
+// volatile a signal is, how bursty, at what timescale its phases live.
+//
+// The workload substitution argument in DESIGN.md §1 rests on the
+// synthetic proxies having the same *class* of behaviour the paper
+// assigned to each benchmark (Table 3's Low/Mid/Hi/Burst/Const labels).
+// This package turns those labels into measurable quantities so the
+// test suite can verify the substitution instead of asserting it.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hcapp/internal/trace"
+)
+
+// Profile summarizes a scalar time series (power, activity, …).
+type Profile struct {
+	N    int
+	Mean float64
+	Min  float64
+	Max  float64
+	// PeakToMean is Max/Mean — Fig. 1's headline statistic.
+	PeakToMean float64
+	// CV is the coefficient of variation (stddev/mean): overall
+	// volatility, scale-free.
+	CV float64
+	// Burstiness is the classic Goh–Barabási index
+	// (σ−μ)/(σ+μ) ∈ (−1, 1): ≈ −1 for a constant signal, 0 for
+	// Poisson-like variation, → 1 for heavy bursts.
+	Burstiness float64
+	// DutyAboveMean is the fraction of samples above the mean — low for
+	// spiky signals that are quiet most of the time.
+	DutyAboveMean float64
+	// P95OverP50 compares the 95th and 50th percentiles: tail height.
+	P95OverP50 float64
+}
+
+// Analyze computes a Profile of xs. Empty input yields a zero Profile.
+func Analyze(xs []float64) Profile {
+	if len(xs) == 0 {
+		return Profile{}
+	}
+	p := Profile{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < p.Min {
+			p.Min = x
+		}
+		if x > p.Max {
+			p.Max = x
+		}
+	}
+	p.Mean = sum / float64(len(xs))
+
+	varSum, above := 0.0, 0
+	for _, x := range xs {
+		d := x - p.Mean
+		varSum += d * d
+		if x > p.Mean {
+			above++
+		}
+	}
+	sigma := math.Sqrt(varSum / float64(len(xs)))
+	p.DutyAboveMean = float64(above) / float64(len(xs))
+	if p.Mean != 0 {
+		p.PeakToMean = p.Max / p.Mean
+		p.CV = sigma / p.Mean
+	}
+	if sigma+p.Mean != 0 {
+		p.Burstiness = (sigma - p.Mean) / (sigma + p.Mean)
+	}
+
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	p50 := quantile(sorted, 0.50)
+	p95 := quantile(sorted, 0.95)
+	if p50 != 0 {
+		p.P95OverP50 = p95 / p50
+	}
+	return p
+}
+
+// quantile returns the q-quantile of a sorted slice with linear
+// interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// AnalyzePoints profiles a down-sampled trace series.
+func AnalyzePoints(pts []trace.Point) Profile {
+	xs := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.P
+	}
+	return Analyze(xs)
+}
+
+// Class is a coarse behaviour classification matching Table 3's labels.
+type Class string
+
+// Behaviour classes derived from profile statistics.
+const (
+	ClassSteady Class = "steady"
+	ClassPhased Class = "phased"
+	ClassBursty Class = "bursty"
+)
+
+// Classify maps a profile to a behaviour class:
+//
+//   - bursty: strong tails and a minority of time above the mean (the
+//     ferret/bfs shape — quiet with spikes);
+//   - steady: low overall volatility;
+//   - phased: everything in between (wave-like programs).
+func Classify(p Profile) Class {
+	if p.N == 0 {
+		return ClassSteady
+	}
+	if p.PeakToMean > 1.45 && p.DutyAboveMean < 0.45 {
+		return ClassBursty
+	}
+	if p.CV < 0.10 {
+		return ClassSteady
+	}
+	return ClassPhased
+}
+
+// String renders a compact profile summary.
+func (p Profile) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g peak/mean=%.2f cv=%.3f burstiness=%.2f duty>mean=%.2f p95/p50=%.2f",
+		p.N, p.Mean, p.PeakToMean, p.CV, p.Burstiness, p.DutyAboveMean, p.P95OverP50)
+}

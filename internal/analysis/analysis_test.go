@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hcapp/internal/trace"
+)
+
+func TestAnalyzeConstant(t *testing.T) {
+	p := Analyze([]float64{5, 5, 5, 5})
+	if p.Mean != 5 || p.Min != 5 || p.Max != 5 {
+		t.Fatalf("constant profile %+v", p)
+	}
+	if p.CV != 0 || p.PeakToMean != 1 {
+		t.Fatalf("constant volatility %+v", p)
+	}
+	if math.Abs(p.Burstiness+1) > 1e-12 {
+		t.Fatalf("constant burstiness = %g, want -1", p.Burstiness)
+	}
+	if Classify(p) != ClassSteady {
+		t.Fatalf("constant classified as %s", Classify(p))
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	p := Analyze(nil)
+	if p.N != 0 {
+		t.Fatalf("empty profile %+v", p)
+	}
+	if Classify(p) != ClassSteady {
+		t.Fatal("empty classification")
+	}
+}
+
+func TestAnalyzeSpiky(t *testing.T) {
+	// Mostly quiet with rare tall spikes: the ferret shape.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 40
+	}
+	for i := 0; i < 100; i += 20 {
+		xs[i] = 120
+	}
+	p := Analyze(xs)
+	if p.PeakToMean < 1.45 {
+		t.Fatalf("spiky peak/mean = %g", p.PeakToMean)
+	}
+	if p.DutyAboveMean > 0.45 {
+		t.Fatalf("spiky duty = %g", p.DutyAboveMean)
+	}
+	if Classify(p) != ClassBursty {
+		t.Fatalf("spiky classified as %s (%s)", Classify(p), p)
+	}
+}
+
+func TestAnalyzeWave(t *testing.T) {
+	var xs []float64
+	for i := 0; i < 200; i++ {
+		xs = append(xs, 70+25*math.Sin(float64(i)/10))
+	}
+	p := Analyze(xs)
+	if got := Classify(p); got != ClassPhased {
+		t.Fatalf("wave classified as %s (%s)", got, p)
+	}
+}
+
+func TestProfileStatistics(t *testing.T) {
+	p := Analyze([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if p.Mean != 5.5 {
+		t.Fatalf("mean %g", p.Mean)
+	}
+	if p.Min != 1 || p.Max != 10 {
+		t.Fatalf("range %g..%g", p.Min, p.Max)
+	}
+	if p.DutyAboveMean != 0.5 {
+		t.Fatalf("duty %g", p.DutyAboveMean)
+	}
+	if p.P95OverP50 <= 1 {
+		t.Fatalf("p95/p50 %g", p.P95OverP50)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{{0, 1}, {0.5, 3}, {1, 5}, {0.25, 2}}
+	for _, c := range cases {
+		if got := quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+	if quantile([]float64{7}, 0.9) != 7 {
+		t.Fatal("single quantile")
+	}
+}
+
+func TestAnalyzePoints(t *testing.T) {
+	pts := []trace.Point{{T: 1, P: 10}, {T: 2, P: 20}}
+	p := AnalyzePoints(pts)
+	if p.N != 2 || p.Mean != 15 {
+		t.Fatalf("points profile %+v", p)
+	}
+}
+
+func TestBurstinessBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b)
+		}
+		p := Analyze(xs)
+		return p.Burstiness >= -1-1e-12 && p.Burstiness <= 1+1e-12 &&
+			p.DutyAboveMean >= 0 && p.DutyAboveMean <= 1 &&
+			p.Min <= p.Mean+1e-9 && p.Mean <= p.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	s := Analyze([]float64{1, 2, 3}).String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}

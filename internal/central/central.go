@@ -1,0 +1,208 @@
+// Package central implements the design HCAPP argues against (§2): a
+// structurally centralized power controller in the style of RAPL or
+// Tangram. Each control cycle it gathers every component's metrics over
+// a collection network (internal/noc), decides a per-domain allocation
+// with global knowledge, and distributes new settings — so its control
+// period is bounded below by the network round trip and grows with
+// system size, and its decision logic must understand every component
+// type ("designing a centralized controller with logic for how all of
+// the system metrics and power information can control the various
+// nodes in a system becomes increasingly difficult").
+//
+// The allocator is a greedy utility scheduler: when the package is over
+// its power target it takes voltage away from the domain producing the
+// least progress per watt; when under, it gives voltage to the domain
+// producing the most. This is deliberately the *strongest reasonable*
+// centralized baseline — it sees perfect metrics and spends zero cycles
+// computing — and it still cannot act inside a 20 µs window at scale.
+package central
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hcapp/internal/noc"
+	"hcapp/internal/sched"
+	"hcapp/internal/sim"
+)
+
+// Config parameterizes the centralized controller.
+type Config struct {
+	// TargetPower is the package power target, watts.
+	TargetPower float64
+	// Domains are the scalable domains under management.
+	Domains []string
+	// Network is the metric-collection interconnect; with Nodes it
+	// determines the achievable control period.
+	Network noc.Config
+	// Nodes is the number of metric sources the controller polls.
+	Nodes int
+	// Floor is the fastest the decision loop itself can cycle,
+	// independent of collection latency.
+	Floor sim.Time
+	// Step is the priority adjustment per cycle; zero defaults to 0.05.
+	Step float64
+	// PrioMin/PrioMax bound the per-domain allocation; zeros default to
+	// 0.75 and 1.15.
+	PrioMin, PrioMax float64
+	// DeadBand is the fractional band around the target inside which no
+	// action is taken; zero defaults to 0.03.
+	DeadBand float64
+}
+
+// Controller is a sched.Supervisor implementing centralized control.
+type Controller struct {
+	cfg    Config
+	period sim.Time
+
+	prios        map[string]float64
+	prevProgress map[string]float64
+	prevTime     sim.Time
+	actions      int64
+}
+
+// New builds the controller, deriving its period from the collection
+// network.
+func New(cfg Config) (*Controller, error) {
+	if cfg.TargetPower <= 0 {
+		return nil, fmt.Errorf("central: non-positive target %g", cfg.TargetPower)
+	}
+	if len(cfg.Domains) == 0 {
+		return nil, fmt.Errorf("central: no domains")
+	}
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("central: non-positive node count %d", cfg.Nodes)
+	}
+	if cfg.Floor <= 0 {
+		return nil, fmt.Errorf("central: non-positive floor %d", cfg.Floor)
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 0.05
+	}
+	if cfg.Step <= 0 || cfg.Step > 0.5 {
+		return nil, fmt.Errorf("central: step %g outside (0, 0.5]", cfg.Step)
+	}
+	if cfg.PrioMin == 0 {
+		cfg.PrioMin = 0.75
+	}
+	if cfg.PrioMax == 0 {
+		cfg.PrioMax = 1.15
+	}
+	if cfg.PrioMin <= 0 || cfg.PrioMin >= cfg.PrioMax {
+		return nil, fmt.Errorf("central: priority range [%g,%g] invalid", cfg.PrioMin, cfg.PrioMax)
+	}
+	if cfg.DeadBand == 0 {
+		cfg.DeadBand = 0.03
+	}
+	if cfg.DeadBand < 0 || cfg.DeadBand >= 1 {
+		return nil, fmt.Errorf("central: dead band %g invalid", cfg.DeadBand)
+	}
+	period, err := cfg.Network.MinControlPeriod(cfg.Nodes, cfg.Floor)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:          cfg,
+		period:       period,
+		prios:        make(map[string]float64, len(cfg.Domains)),
+		prevProgress: make(map[string]float64, len(cfg.Domains)),
+	}
+	for _, d := range cfg.Domains {
+		c.prios[d] = 1.0
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on invalid configuration.
+func MustNew(cfg Config) *Controller {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Period implements sched.Supervisor: collection latency bounds it.
+func (c *Controller) Period() sim.Time { return c.period }
+
+// Actions reports the number of allocation changes made.
+func (c *Controller) Actions() int64 { return c.actions }
+
+// Priorities exposes the current allocation (for tests and traces).
+func (c *Controller) Priorities() map[string]float64 {
+	out := make(map[string]float64, len(c.prios))
+	for k, v := range c.prios {
+		out[k] = v
+	}
+	return out
+}
+
+type powerReporter interface{ LastPower() float64 }
+
+// Tick implements sched.Supervisor.
+func (c *Controller) Tick(now sim.Time, eng *sched.Engine) {
+	total := eng.LastTotalPower()
+	dtSec := sim.Seconds(now - c.prevTime)
+
+	// Gather per-domain utility = progress per second per watt.
+	type domState struct {
+		name    string
+		utility float64
+	}
+	var states []domState
+	for _, name := range c.cfg.Domains {
+		comp := eng.Component(name)
+		if comp == nil {
+			continue
+		}
+		prog := comp.Progress()
+		var watts float64
+		if pr, ok := comp.(powerReporter); ok {
+			watts = pr.LastPower()
+		}
+		utility := 0.0
+		if dtSec > 0 && watts > 0 && prog < 1 {
+			utility = (prog - c.prevProgress[name]) / dtSec / watts
+		}
+		c.prevProgress[name] = prog
+		states = append(states, domState{name: name, utility: utility})
+	}
+	c.prevTime = now
+	if len(states) == 0 {
+		return
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].utility < states[j].utility })
+
+	hi := c.cfg.TargetPower * (1 + c.cfg.DeadBand)
+	lo := c.cfg.TargetPower * (1 - c.cfg.DeadBand)
+	switch {
+	case total > hi:
+		// Over target: take voltage from the least productive domain
+		// that still has allocation to give.
+		for _, st := range states {
+			if p := c.prios[st.name]; p > c.cfg.PrioMin {
+				c.prios[st.name] = math.Max(c.cfg.PrioMin, p-c.cfg.Step)
+				c.actions++
+				break
+			}
+		}
+	case total < lo:
+		// Under target: give voltage to the most productive domain with
+		// headroom; fall back to any domain with headroom (finished or
+		// stalled components report zero utility).
+		for i := len(states) - 1; i >= 0; i-- {
+			st := states[i]
+			if p := c.prios[st.name]; p < c.cfg.PrioMax {
+				c.prios[st.name] = math.Min(c.cfg.PrioMax, p+c.cfg.Step)
+				c.actions++
+				break
+			}
+		}
+	}
+	for name, p := range c.prios {
+		if d := eng.Domain(name); d != nil {
+			d.SetPriority(p)
+		}
+	}
+}

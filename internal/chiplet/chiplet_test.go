@@ -1,0 +1,278 @@
+package chiplet
+
+import (
+	"math"
+	"testing"
+
+	"hcapp/internal/core"
+	"hcapp/internal/power"
+	"hcapp/internal/sim"
+	"hcapp/internal/workload"
+)
+
+func testModel() power.Model {
+	return power.Model{
+		DVFS: power.DVFS{
+			FMax: 2e9, FMin: 0.8e9,
+			VNom: 1.10, VMin: 0.60, VT: 0.55, Alpha: 2.0,
+		},
+		CEff: 4.6e-9, LeakNom: 0.9, LeakExp: 1.5, IdleAct: 0.03,
+	}
+}
+
+func steadyTrace(act float64) *workload.Trace {
+	return workload.ConstantTrace("steady", 2e9, 100*sim.Microsecond, 1.5, 0.2, act, 0.1)
+}
+
+func testChiplet(t *testing.T, units int, totalWork float64, withLocal bool) *Chiplet {
+	t.Helper()
+	specs := make([]UnitSpec, units)
+	for i := range specs {
+		var lc core.Local
+		if withLocal {
+			lc = core.MustStaticIPC(2.5, 0.6, 0.3, 0.05, core.RatioRange{Min: 0.85, Max: 1.0})
+		}
+		specs[i] = UnitSpec{Trace: steadyTrace(0.6), Local: lc}
+	}
+	c, err := New(Config{
+		Name: "test", Units: specs, Model: testModel(),
+		LocalEpoch: 5 * sim.Microsecond,
+		UncoreLeak: 1.0, UncoreDyn: 1.0,
+		TotalWork: totalWork,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewErrors(t *testing.T) {
+	m := testModel()
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no units", Config{Name: "x", Model: m, LocalEpoch: 1000}},
+		{"bad model", Config{Name: "x", Units: []UnitSpec{{Trace: steadyTrace(0.5)}}, LocalEpoch: 1000}},
+		{"zero epoch", Config{Name: "x", Units: []UnitSpec{{Trace: steadyTrace(0.5)}}, Model: m}},
+		{"nil trace", Config{Name: "x", Units: []UnitSpec{{}}, Model: m, LocalEpoch: 1000}},
+		{"negative work", Config{Name: "x", Units: []UnitSpec{{Trace: steadyTrace(0.5)}}, Model: m, LocalEpoch: 1000, TotalWork: -1}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestStepDrawsPower(t *testing.T) {
+	c := testChiplet(t, 4, 0, false)
+	res := c.Step(100, 100, 0.95)
+	if res.Power <= 0 {
+		t.Fatalf("power = %g", res.Power)
+	}
+	if res.Work <= 0 {
+		t.Fatalf("work = %g", res.Work)
+	}
+	if c.LastPower() != res.Power {
+		t.Fatal("LastPower mismatch")
+	}
+}
+
+func TestPowerScalesWithVoltage(t *testing.T) {
+	lo := testChiplet(t, 4, 0, false).Step(100, 100, 0.80).Power
+	hi := testChiplet(t, 4, 0, false).Step(100, 100, 1.10).Power
+	if hi <= lo*1.5 {
+		t.Fatalf("power barely scales with voltage: %g -> %g", lo, hi)
+	}
+}
+
+func TestWorkAccounting(t *testing.T) {
+	// Size the pool to finish in ~1 ms at 0.95 V, then verify Done,
+	// Progress and CompletionTime line up.
+	c := testChiplet(t, 2, 0, false)
+	work := c.AvgIPSAt(0.95) * 1e-3
+	c.SetTotalWork(work)
+	if c.TotalWork() != work {
+		t.Fatal("SetTotalWork not applied")
+	}
+	var now sim.Time
+	for !c.Done() && now < 10*sim.Millisecond {
+		now += 100
+		c.Step(now, 100, 0.95)
+	}
+	if !c.Done() {
+		t.Fatal("never completed")
+	}
+	if got := c.CompletionTime(); got <= 0 || got > 2*sim.Millisecond {
+		t.Fatalf("completion at %s, want ≈1ms", sim.FormatTime(got))
+	}
+	if c.Progress() != 1 {
+		t.Fatalf("progress = %g", c.Progress())
+	}
+}
+
+func TestProgressMonotone(t *testing.T) {
+	c := testChiplet(t, 2, 0, false)
+	c.SetTotalWork(c.AvgIPSAt(0.95) * 2e-3)
+	prev := 0.0
+	for now := sim.Time(100); now <= sim.Millisecond; now += 100 {
+		c.Step(now, 100, 0.95)
+		p := c.Progress()
+		if p < prev {
+			t.Fatalf("progress went backwards at %s", sim.FormatTime(now))
+		}
+		prev = p
+	}
+	if prev <= 0 || prev >= 1 {
+		t.Fatalf("mid-run progress = %g", prev)
+	}
+}
+
+func TestIdleAfterDone(t *testing.T) {
+	c := testChiplet(t, 2, 0, false)
+	c.SetTotalWork(1) // finishes on the first step
+	c.Step(100, 100, 0.95)
+	if !c.Done() {
+		t.Fatal("tiny pool not done")
+	}
+	busy := testChiplet(t, 2, 0, false).Step(100, 100, 0.95).Power
+	idle := c.Step(200, 100, 0.95)
+	if idle.Work != 0 {
+		t.Fatalf("idle chiplet retired work: %g", idle.Work)
+	}
+	if idle.Power >= busy {
+		t.Fatalf("idle power %g not below busy power %g", idle.Power, busy)
+	}
+	if idle.Power <= 0 {
+		t.Fatal("idle chiplet must still leak")
+	}
+}
+
+func TestZeroWorkRunsForever(t *testing.T) {
+	c := testChiplet(t, 1, 0, false)
+	for now := sim.Time(100); now <= sim.Millisecond; now += 100 {
+		c.Step(now, 100, 0.95)
+	}
+	if c.Done() {
+		t.Fatal("zero-work chiplet reported done")
+	}
+	if c.Progress() != 0 {
+		t.Fatalf("zero-work progress = %g", c.Progress())
+	}
+	if c.CompletionTime() != -1 {
+		t.Fatal("zero-work completion time set")
+	}
+}
+
+func TestLocalControllerEngages(t *testing.T) {
+	// A low-activity, low-IPC workload must drive the local ratio down
+	// within a few epochs.
+	specs := []UnitSpec{{
+		Trace: workload.ConstantTrace("idleish", 2e9, 100*sim.Microsecond, 0.3, 0.6, 0.1, 0.05),
+		Local: core.MustStaticIPC(2.5, 0.6, 0.3, 0.05, core.RatioRange{Min: 0.85, Max: 1.0}),
+	}}
+	c, err := New(Config{
+		Name: "x", Units: specs, Model: testModel(),
+		LocalEpoch: 5 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := sim.Time(100); now <= 100*sim.Microsecond; now += 100 {
+		c.Step(now, 100, 0.95)
+	}
+	if got := c.UnitRatio(0); got != 0.85 {
+		t.Fatalf("low-IPC unit ratio = %g, want floor 0.85", got)
+	}
+	if c.UnitIPC(0) <= 0 {
+		t.Fatal("unit IPC not measured")
+	}
+	if got := c.MeanRatio(); got != 0.85 {
+		t.Fatalf("mean ratio = %g", got)
+	}
+}
+
+func TestNilLocalKeepsUnityRatio(t *testing.T) {
+	c := testChiplet(t, 2, 0, false)
+	for now := sim.Time(100); now <= 50*sim.Microsecond; now += 100 {
+		c.Step(now, 100, 0.95)
+	}
+	if got := c.MeanRatio(); got != 1.0 {
+		t.Fatalf("ratio without local controller = %g", got)
+	}
+}
+
+func TestResetReproducesRun(t *testing.T) {
+	c := testChiplet(t, 3, 0, true)
+	c.SetTotalWork(c.AvgIPSAt(0.95) * 1e-3)
+	run := func() (float64, sim.Time) {
+		var total float64
+		var now sim.Time
+		for now < sim.Millisecond {
+			now += 100
+			total += c.Step(now, 100, 0.95).Power
+		}
+		return total, c.CompletionTime()
+	}
+	p1, t1 := run()
+	c.Reset()
+	if c.Done() || c.Progress() != 0 {
+		t.Fatal("reset did not clear work state")
+	}
+	p2, t2 := run()
+	if math.Abs(p1-p2) > 1e-6 || t1 != t2 {
+		t.Fatalf("reset run diverged: %g/%d vs %g/%d", p1, t1, p2, t2)
+	}
+}
+
+func TestAvgIPSAtScalesWithUnits(t *testing.T) {
+	one := testChiplet(t, 1, 0, false).AvgIPSAt(0.95)
+	four := testChiplet(t, 4, 0, false).AvgIPSAt(0.95)
+	if math.Abs(four/one-4) > 1e-9 {
+		t.Fatalf("AvgIPSAt not additive: %g vs 4×%g", four, one)
+	}
+}
+
+func TestUncoreContribution(t *testing.T) {
+	specs := []UnitSpec{{Trace: steadyTrace(0.6)}}
+	base, err := New(Config{Name: "a", Units: specs, Model: testModel(), LocalEpoch: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs2 := []UnitSpec{{Trace: steadyTrace(0.6)}}
+	with, err := New(Config{Name: "b", Units: specs2, Model: testModel(), LocalEpoch: 1000, UncoreLeak: 2, UncoreDyn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := base.Step(100, 100, 0.95).Power
+	p1 := with.Step(100, 100, 0.95).Power
+	if p1 <= p0 {
+		t.Fatal("uncore power missing")
+	}
+}
+
+func TestConstantComponent(t *testing.T) {
+	c := NewConstant("mem", 10)
+	if c.Name() != "mem" {
+		t.Fatalf("name %q", c.Name())
+	}
+	res := c.Step(100, 100, 0.5)
+	if res.Power != 10 || res.Work != 0 {
+		t.Fatalf("constant step = %+v", res)
+	}
+	if !c.Done() || c.Progress() != 1 {
+		t.Fatal("constant must always be done")
+	}
+	c.Reset() // no-op, must not panic
+}
+
+func TestChipletName(t *testing.T) {
+	c := testChiplet(t, 1, 0, false)
+	if c.Name() != "test" {
+		t.Fatalf("name %q", c.Name())
+	}
+	if c.Units() != 1 {
+		t.Fatalf("units %d", c.Units())
+	}
+}

@@ -1,0 +1,160 @@
+package chiplet
+
+import (
+	"testing"
+
+	"hcapp/internal/sim"
+	"hcapp/internal/thermal"
+)
+
+// hotModel returns a power model hot enough to trip the default thermal
+// node at full tilt.
+func hotTestChiplet(t *testing.T, th *thermal.Config, margin float64) *Chiplet {
+	t.Helper()
+	m := testModel()
+	m.CEff *= 6 // crank per-unit power well past the thermal envelope
+	specs := make([]UnitSpec, 8)
+	for i := range specs {
+		specs[i] = UnitSpec{Trace: steadyTrace(0.95)}
+	}
+	c, err := New(Config{
+		Name: "hot", Units: specs, Model: m,
+		LocalEpoch:    5 * sim.Microsecond,
+		Thermal:       th,
+		VoltageMargin: margin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNoThermalNodeByDefault(t *testing.T) {
+	c := testChiplet(t, 2, 0, false)
+	if c.Temp() != 0 || c.PeakTemp() != 0 || c.ThermalTripped() {
+		t.Fatal("thermal state without a node")
+	}
+}
+
+func TestThermalBelowTDPNeverTrips(t *testing.T) {
+	// The evaluation-power chiplet with the default node must never trip
+	// (the paper's §3.5 assumption).
+	th := thermal.DefaultChiplet()
+	specs := []UnitSpec{{Trace: steadyTrace(0.8)}, {Trace: steadyTrace(0.8)}}
+	c, err := New(Config{
+		Name: "cool", Units: specs, Model: testModel(),
+		LocalEpoch: 5 * sim.Microsecond, Thermal: &th,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := sim.Time(100); now <= 20*sim.Millisecond; now += 100 {
+		c.Step(now, 100, 1.1)
+	}
+	if c.ThermalTripped() {
+		t.Fatalf("tripped at %g °C under evaluation power", c.Temp())
+	}
+	if c.Temp() <= thermal.DefaultChiplet().AmbientC {
+		t.Fatal("no heating observed")
+	}
+}
+
+func TestThermalTripThrottles(t *testing.T) {
+	th := thermal.DefaultChiplet()
+	c := hotTestChiplet(t, &th, 0)
+	var now sim.Time
+	for !c.ThermalTripped() && now < 50*sim.Millisecond {
+		now += 100
+		c.Step(now, 100, 1.1)
+	}
+	if !c.ThermalTripped() {
+		t.Fatalf("over-powered chiplet never tripped (%.1f °C)", c.Temp())
+	}
+	// While tripped, power must drop versus the untripped steady state:
+	// the protective ratio caps the local voltage.
+	preTrip := hotTestChiplet(t, nil, 0).Step(100, 100, 1.1).Power
+	tripped := c.Step(now+100, 100, 1.1).Power
+	if tripped >= preTrip {
+		t.Fatalf("thermal throttle ineffective: %g vs %g", tripped, preTrip)
+	}
+	if c.PeakTemp() < th.TripC {
+		t.Fatalf("peak %g below trip", c.PeakTemp())
+	}
+}
+
+func TestThermalBadConfigRejected(t *testing.T) {
+	bad := thermal.Config{} // invalid
+	specs := []UnitSpec{{Trace: steadyTrace(0.5)}}
+	if _, err := New(Config{
+		Name: "x", Units: specs, Model: testModel(),
+		LocalEpoch: 1000, Thermal: &bad,
+	}); err == nil {
+		t.Fatal("invalid thermal config accepted")
+	}
+}
+
+func TestThrottleRatioValidation(t *testing.T) {
+	specs := []UnitSpec{{Trace: steadyTrace(0.5)}}
+	if _, err := New(Config{
+		Name: "x", Units: specs, Model: testModel(),
+		LocalEpoch: 1000, ThermalThrottleRatio: -0.5,
+	}); err == nil {
+		t.Fatal("negative throttle ratio accepted")
+	}
+	if _, err := New(Config{
+		Name: "x", Units: specs, Model: testModel(),
+		LocalEpoch: 1000, ThermalThrottleRatio: 1.5,
+	}); err == nil {
+		t.Fatal("throttle ratio above 1 accepted")
+	}
+}
+
+func TestVoltageMarginCostsPerformance(t *testing.T) {
+	// §3.5: a guardbanded design clocks at V − margin, so it retires
+	// less work at the same rail than adaptive clocking.
+	adaptive := testChiplet(t, 2, 0, false)
+	margin := testChiplet(t, 2, 0, false)
+	margin.cfg.VoltageMargin = 0.05
+
+	var wAdaptive, wMargin float64
+	for now := sim.Time(100); now <= 100*sim.Microsecond; now += 100 {
+		wAdaptive += adaptive.Step(now, 100, 0.95).Work
+		wMargin += margin.Step(now, 100, 0.95).Work
+	}
+	if wMargin >= wAdaptive {
+		t.Fatalf("guardband did not cost work: %g vs %g", wMargin, wAdaptive)
+	}
+}
+
+func TestVoltageMarginValidation(t *testing.T) {
+	specs := []UnitSpec{{Trace: steadyTrace(0.5)}}
+	if _, err := New(Config{
+		Name: "x", Units: specs, Model: testModel(),
+		LocalEpoch: 1000, VoltageMargin: -0.1,
+	}); err == nil {
+		t.Fatal("negative margin accepted")
+	}
+}
+
+func TestThermalResetCools(t *testing.T) {
+	th := thermal.DefaultChiplet()
+	c := hotTestChiplet(t, &th, 0)
+	for now := sim.Time(100); now <= 20*sim.Millisecond; now += 100 {
+		c.Step(now, 100, 1.1)
+	}
+	hot := c.Temp()
+	c.Reset()
+	if c.Temp() >= hot || c.ThermalTripped() {
+		t.Fatal("reset did not cool the node")
+	}
+}
+
+func TestUnitActivityMeasured(t *testing.T) {
+	c := testChiplet(t, 1, 0, true)
+	for now := sim.Time(100); now <= 20*sim.Microsecond; now += 100 {
+		c.Step(now, 100, 0.95)
+	}
+	if got := c.UnitActivity(0); got <= 0 || got > 1 {
+		t.Fatalf("unit activity = %g", got)
+	}
+}

@@ -1,0 +1,357 @@
+// Package config defines the target system of the paper's evaluation
+// (§4): the Table 2 CPU/GPU configurations, the SHA accelerator, the two
+// power limits (100 W over 20 µs package-pin; 100 W over 1 ms off-package
+// VR), the control schemes (HCAPP 1 µs, RAPL-like 100 µs, SW-like 10 ms,
+// fixed voltage), and the electrical parameters of the delivery network.
+//
+// All numeric model constants (effective capacitances, leakage, DVFS
+// envelopes) are calibrated so the simulated package reproduces the
+// paper's power envelope: ~100 W peak at the fixed 0.95 V operating
+// point with peak/average ≈ 1.4–1.6 (Fig. 1).
+package config
+
+import (
+	"fmt"
+
+	"hcapp/internal/power"
+	"hcapp/internal/sim"
+	"hcapp/internal/vr"
+)
+
+// PowerLimit is a maximum power evaluated over a sliding time window
+// (paper §1: "power limits dictate a maximum power and a time window over
+// which that maximum power is evaluated").
+type PowerLimit struct {
+	Name   string
+	Watts  float64
+	Window sim.Time
+}
+
+// PackagePinLimit is the fast limit: 100 W over 20 µs, "an estimate of
+// the amount of time for the power draw from the components in the system
+// to reach the package pins" (§5.1).
+func PackagePinLimit() PowerLimit {
+	return PowerLimit{Name: "package-pin", Watts: 100, Window: 20 * sim.Microsecond}
+}
+
+// OffPackageVRLimit is the slow limit: 100 W over 1 ms, "based on the
+// relative time specification for max off-chip voltage regulator power
+// draw" (§5.2).
+func OffPackageVRLimit() PowerLimit {
+	return PowerLimit{Name: "off-package-vr", Watts: 100, Window: 1 * sim.Millisecond}
+}
+
+// SchemeKind enumerates the power-control schemes compared in §4.6.
+type SchemeKind string
+
+// The four evaluated schemes.
+const (
+	FixedVoltage SchemeKind = "fixed-voltage"
+	HCAPP        SchemeKind = "hcapp"
+	RAPLLike     SchemeKind = "rapl-like"
+	SWLike       SchemeKind = "sw-like"
+)
+
+// Scheme is a control-scheme configuration. RAPL-like and SW-like are
+// literally HCAPP "running at two slower control frequencies" (§4.6), so
+// the only structural difference between dynamic schemes is the period.
+type Scheme struct {
+	Kind SchemeKind
+	// ControlPeriod is the global controller's cycle time; ignored for
+	// fixed voltage.
+	ControlPeriod sim.Time
+	// FixedV is the static global voltage; used only by FixedVoltage.
+	FixedV float64
+}
+
+// StandardSchemes returns the paper's four comparison points: fixed
+// 0.95 V, HCAPP at 1 µs, RAPL-like at 100 µs, SW-like at 10 ms.
+func StandardSchemes() []Scheme {
+	return []Scheme{
+		{Kind: FixedVoltage, FixedV: 0.95},
+		{Kind: HCAPP, ControlPeriod: 1 * sim.Microsecond},
+		{Kind: RAPLLike, ControlPeriod: 100 * sim.Microsecond},
+		{Kind: SWLike, ControlPeriod: 10 * sim.Millisecond},
+	}
+}
+
+// SchemeByKind returns the standard configuration of the given kind.
+func SchemeByKind(k SchemeKind) (Scheme, error) {
+	for _, s := range StandardSchemes() {
+		if s.Kind == k {
+			return s, nil
+		}
+	}
+	return Scheme{}, fmt.Errorf("config: unknown scheme %q", k)
+}
+
+// String returns the paper's display name for the scheme.
+func (s Scheme) String() string {
+	switch s.Kind {
+	case FixedVoltage:
+		return "Fixed Voltage"
+	case HCAPP:
+		return "HCAPP"
+	case RAPLLike:
+		return "RAPL-like HCAPP"
+	case SWLike:
+		return "SW-like HCAPP"
+	default:
+		return string(s.Kind)
+	}
+}
+
+// CPUConfig is the Table 2 CPU column: an 8-core Nehalem-class chiplet.
+type CPUConfig struct {
+	Cores int
+	// Informational cache geometry from Table 2 (kB).
+	L1KB, L2KB int
+	// Core is the per-core power model.
+	Core power.Model
+	// UncoreLeak and UncoreDyn model the shared uncore: leakage at
+	// nominal voltage plus a dynamic component proportional to average
+	// core activity.
+	UncoreLeak, UncoreDyn float64
+	// MaxIPC is the architectural peak IPC used to normalize the local
+	// controller's thresholds ("60% of the maximum possible IPC", §4.2).
+	MaxIPC float64
+}
+
+// GPUConfig is the Table 2 GPU column: a 15-SM GTX480-class chiplet.
+type GPUConfig struct {
+	SMs                    int
+	CoresPerSM             int
+	L1KB, SharedKB, L2KB   int
+	SM                     power.Model // per-SM power model
+	UncoreLeak, UncoreDyn  float64
+	MaxIPC                 float64
+	TargetDomainV          float64 // dynamic-threshold controller target (§4.3)
+	ThresholdStep          float64 // ±5% threshold adaptation
+	DeadZone               float64 // 5% dead zone around the target
+	InitUpperTh, InitLowTh float64 // initial IPC thresholds (fraction of MaxIPC)
+}
+
+// AccelConfig describes the SHA accelerator chiplet: a voltage →
+// (throughput, power) lookup table in the style of the paper's Python
+// model of the Suresh et al. design, scaled from a single 14 nm hashing
+// core to a chiplet-sized array.
+type AccelConfig struct {
+	// VPoints, PowerW and ThroughputGBs are parallel arrays defining the
+	// LUT. Voltages in volts, power in watts, throughput in GB/s.
+	VPoints       []float64
+	PowerW        []float64
+	ThroughputGBs []float64
+	// IdlePower is drawn after the work pool is exhausted.
+	IdlePower float64
+}
+
+// MemConfig is the constant-voltage memory/uncore domain ("certain
+// subcomponents, such as memory, need a constant voltage", §3.2).
+type MemConfig struct {
+	Power float64 // constant draw, watts
+}
+
+// DomainConfig describes one voltage domain's normalization (§3.2).
+type DomainConfig struct {
+	// Scale multiplies the global voltage ("the domain controller scales
+	// the global voltage by 75% to match the approximate voltage range
+	// of the GPU", §4.3).
+	Scale float64
+	// VMin/VMax clamp the domain output.
+	VMin, VMax float64
+	// Fixed pins the domain voltage to VMax regardless of the global
+	// rail (memory).
+	Fixed bool
+	// VR models the per-chiplet domain regulator required by 2.5D
+	// integration (§3.2).
+	VR vr.RegulatorConfig
+}
+
+// LocalCPUConfig parameterizes the CAPP static-IPC local controller
+// (§4.2: thresholds at 60 % / 30 % of max IPC, ±0.05 ratio steps).
+type LocalCPUConfig struct {
+	UpperFrac, LowerFrac float64 // thresholds as fractions of MaxIPC
+	Step                 float64 // ratio adjustment per epoch
+	RatioMin, RatioMax   float64
+	Epoch                sim.Time
+}
+
+// SystemConfig is the full simulated 2.5D package.
+type SystemConfig struct {
+	CPU   CPUConfig
+	GPU   GPUConfig
+	Accel AccelConfig
+	Mem   MemConfig
+
+	CPUDomain, GPUDomain, AccelDomain, MemDomain DomainConfig
+
+	LocalCPU LocalCPUConfig
+	// LocalEpoch is the evaluation period of the GPU local controllers.
+	LocalEpoch sim.Time
+
+	GlobalVR vr.RegulatorConfig
+	Sensor   vr.SensorConfig
+	// PSNDelay is the transport delay from global VR to the domains.
+	PSNDelay sim.Time
+	// DroopOhms is the lumped PSN resistance for IR droop.
+	DroopOhms float64
+
+	// TimeStep is the engine timestep.
+	TimeStep sim.Time
+	// Seed drives all workload generation.
+	Seed int64
+}
+
+// Default returns the calibrated evaluation system.
+func Default() SystemConfig {
+	cpuDVFS := power.DVFS{
+		FMax: 2e9, FMin: 0.8e9, // Table 2: 2 GHz max, 800 MHz min
+		VNom: 1.10, VMin: 0.60, VT: 0.55, Alpha: 2.0,
+	}
+	gpuDVFS := power.DVFS{
+		FMax: 700e6, FMin: 100e6, // Table 2: 700 MHz max, 100 MHz min
+		VNom: 0.825, VMin: 0.42, VT: 0.30, Alpha: 2.0,
+	}
+	return SystemConfig{
+		CPU: CPUConfig{
+			Cores: 8, L1KB: 32, L2KB: 256,
+			Core: power.Model{
+				DVFS: cpuDVFS, CEff: 4.6e-9,
+				LeakNom: 0.90, LeakExp: 1.5, IdleAct: 0.03,
+			},
+			UncoreLeak: 2.5, UncoreDyn: 2.0,
+			MaxIPC: 2.5,
+		},
+		GPU: GPUConfig{
+			SMs: 15, CoresPerSM: 1, L1KB: 16, SharedKB: 48, L2KB: 768,
+			SM: power.Model{
+				DVFS: gpuDVFS, CEff: 10.6e-9,
+				LeakNom: 0.45, LeakExp: 1.5, IdleAct: 0.03,
+			},
+			UncoreLeak: 2.0, UncoreDyn: 2.5,
+			MaxIPC:        2.2,
+			TargetDomainV: 0.72, ThresholdStep: 0.05, DeadZone: 0.05,
+			InitUpperTh: 0.60, InitLowTh: 0.30,
+		},
+		Accel: AccelConfig{
+			VPoints:       []float64{0.23, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95},
+			PowerW:        []float64{0.22, 0.56, 1.40, 2.75, 4.90, 8.00, 12.2, 17.8, 21.1},
+			ThroughputGBs: []float64{6, 14, 30, 52, 80, 113, 151, 193, 216},
+			IdlePower:     0.15,
+		},
+		Mem: MemConfig{Power: 14.0},
+
+		CPUDomain: DomainConfig{
+			Scale: 1.0, VMin: 0.60, VMax: 1.20,
+			VR: vr.RegulatorConfig{VMin: 0.60, VMax: 1.20, VInit: 0.95, TransitionTime: 130, SlewRate: 5e6},
+		},
+		GPUDomain: DomainConfig{
+			Scale: 0.75, VMin: 0.45, VMax: 0.90,
+			VR: vr.RegulatorConfig{VMin: 0.45, VMax: 0.90, VInit: 0.7125, TransitionTime: 130, SlewRate: 5e6},
+		},
+		AccelDomain: DomainConfig{
+			Scale: 0.75, VMin: 0.23, VMax: 0.90,
+			VR: vr.RegulatorConfig{VMin: 0.23, VMax: 0.90, VInit: 0.7125, TransitionTime: 130, SlewRate: 5e6},
+		},
+		MemDomain: DomainConfig{
+			Scale: 1.0, VMin: 1.0, VMax: 1.0, Fixed: true,
+			VR: vr.RegulatorConfig{VMin: 0.99, VMax: 1.01, VInit: 1.0, TransitionTime: 130, SlewRate: 5e6},
+		},
+
+		LocalCPU: LocalCPUConfig{
+			UpperFrac: 0.60, LowerFrac: 0.30, Step: 0.05,
+			RatioMin: 0.85, RatioMax: 1.0,
+			Epoch: 5 * sim.Microsecond,
+		},
+		LocalEpoch: 5 * sim.Microsecond,
+
+		GlobalVR: vr.RegulatorConfig{
+			VMin: 0.60, VMax: 1.20, VInit: 0.95,
+			TransitionTime: 150, SlewRate: 5e6,
+		},
+		Sensor:    vr.SensorConfig{Delay: 60, FilterTau: 200},
+		PSNDelay:  75,
+		DroopOhms: 0.0002,
+
+		TimeStep: 100 * sim.Nanosecond,
+		Seed:     42,
+	}
+}
+
+// Validate checks the whole configuration.
+func (c SystemConfig) Validate() error {
+	if c.CPU.Cores <= 0 || c.GPU.SMs <= 0 {
+		return fmt.Errorf("config: need at least one core and one SM")
+	}
+	if err := c.CPU.Core.Validate(); err != nil {
+		return fmt.Errorf("config: cpu core model: %w", err)
+	}
+	if err := c.GPU.SM.Validate(); err != nil {
+		return fmt.Errorf("config: gpu sm model: %w", err)
+	}
+	if err := c.GlobalVR.Validate(); err != nil {
+		return fmt.Errorf("config: global vr: %w", err)
+	}
+	if err := c.Sensor.Validate(); err != nil {
+		return fmt.Errorf("config: sensor: %w", err)
+	}
+	if len(c.Accel.VPoints) < 2 ||
+		len(c.Accel.VPoints) != len(c.Accel.PowerW) ||
+		len(c.Accel.VPoints) != len(c.Accel.ThroughputGBs) {
+		return fmt.Errorf("config: accelerator LUT arrays malformed")
+	}
+	if c.TimeStep <= 0 {
+		return fmt.Errorf("config: non-positive timestep %d", c.TimeStep)
+	}
+	for _, d := range []struct {
+		name string
+		d    DomainConfig
+	}{
+		{"cpu", c.CPUDomain}, {"gpu", c.GPUDomain},
+		{"accel", c.AccelDomain}, {"mem", c.MemDomain},
+	} {
+		if d.d.Scale <= 0 {
+			return fmt.Errorf("config: %s domain scale %g not positive", d.name, d.d.Scale)
+		}
+		if d.d.VMin > d.d.VMax {
+			return fmt.Errorf("config: %s domain voltage range empty", d.name)
+		}
+		if err := d.d.VR.Validate(); err != nil {
+			return fmt.Errorf("config: %s domain vr: %w", d.name, err)
+		}
+	}
+	if c.LocalCPU.RatioMin <= 0 || c.LocalCPU.RatioMin > c.LocalCPU.RatioMax {
+		return fmt.Errorf("config: cpu local ratio range invalid")
+	}
+	return nil
+}
+
+// Table2 renders the CPU/GPU configuration as the paper's Table 2.
+func (c SystemConfig) Table2() string {
+	rows := [][3]string{
+		{"Component", "CPU", "GPU"},
+		{"Units", fmt.Sprintf("%d Cores", c.CPU.Cores), fmt.Sprintf("%d SMs", c.GPU.SMs)},
+		{"Cores per SM", "N/A", fmt.Sprintf("%d", c.GPU.CoresPerSM)},
+		{"L1 Cache Size", fmt.Sprintf("%d kB", c.CPU.L1KB), fmt.Sprintf("%d kB", c.GPU.L1KB)},
+		{"Shared Memory Size", "N/A", fmt.Sprintf("%d kB", c.GPU.SharedKB)},
+		{"L2 Cache Size", fmt.Sprintf("%d kB", c.CPU.L2KB), fmt.Sprintf("%d kB", c.GPU.L2KB)},
+		{"Maximum Frequency", fmtHz(c.CPU.Core.DVFS.FMax), fmtHz(c.GPU.SM.DVFS.FMax)},
+		{"Minimum Frequency", fmtHz(c.CPU.Core.DVFS.FMin), fmtHz(c.GPU.SM.DVFS.FMin)},
+	}
+	out := ""
+	for _, r := range rows {
+		out += fmt.Sprintf("%-20s %-12s %s\n", r[0], r[1], r[2])
+	}
+	return out
+}
+
+func fmtHz(f float64) string {
+	switch {
+	case f >= 1e9:
+		return fmt.Sprintf("%g GHz", f/1e9)
+	case f >= 1e6:
+		return fmt.Sprintf("%g MHz", f/1e6)
+	default:
+		return fmt.Sprintf("%g Hz", f)
+	}
+}

@@ -1,0 +1,196 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"hcapp/internal/sim"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestDefaultMatchesTable2(t *testing.T) {
+	c := Default()
+	// Table 2 of the paper.
+	if c.CPU.Cores != 8 {
+		t.Errorf("CPU cores = %d, want 8", c.CPU.Cores)
+	}
+	if c.GPU.SMs != 15 {
+		t.Errorf("GPU SMs = %d, want 15", c.GPU.SMs)
+	}
+	if c.GPU.CoresPerSM != 1 {
+		t.Errorf("cores per SM = %d, want 1", c.GPU.CoresPerSM)
+	}
+	if c.CPU.L1KB != 32 || c.CPU.L2KB != 256 {
+		t.Errorf("CPU caches = %d/%d, want 32/256", c.CPU.L1KB, c.CPU.L2KB)
+	}
+	if c.GPU.L1KB != 16 || c.GPU.SharedKB != 48 || c.GPU.L2KB != 768 {
+		t.Errorf("GPU caches = %d/%d/%d, want 16/48/768", c.GPU.L1KB, c.GPU.SharedKB, c.GPU.L2KB)
+	}
+	if c.CPU.Core.DVFS.FMax != 2e9 || c.CPU.Core.DVFS.FMin != 0.8e9 {
+		t.Errorf("CPU frequency range wrong")
+	}
+	if c.GPU.SM.DVFS.FMax != 700e6 || c.GPU.SM.DVFS.FMin != 100e6 {
+		t.Errorf("GPU frequency range wrong")
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	out := Default().Table2()
+	for _, want := range []string{"8 Cores", "15 SMs", "2 GHz", "700 MHz", "800 MHz", "100 MHz", "32 kB", "768 kB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPowerLimits(t *testing.T) {
+	fast := PackagePinLimit()
+	if fast.Watts != 100 || fast.Window != 20*sim.Microsecond {
+		t.Fatalf("package pin limit %+v", fast)
+	}
+	slow := OffPackageVRLimit()
+	if slow.Watts != 100 || slow.Window != sim.Millisecond {
+		t.Fatalf("off-package VR limit %+v", slow)
+	}
+}
+
+func TestStandardSchemes(t *testing.T) {
+	ss := StandardSchemes()
+	if len(ss) != 4 {
+		t.Fatalf("schemes = %d", len(ss))
+	}
+	periods := map[SchemeKind]sim.Time{
+		HCAPP:    1 * sim.Microsecond,
+		RAPLLike: 100 * sim.Microsecond,
+		SWLike:   10 * sim.Millisecond,
+	}
+	for kind, want := range periods {
+		s, err := SchemeByKind(kind)
+		if err != nil {
+			t.Fatalf("SchemeByKind(%s): %v", kind, err)
+		}
+		if s.ControlPeriod != want {
+			t.Errorf("%s period = %d, want %d", kind, s.ControlPeriod, want)
+		}
+	}
+	fixed, err := SchemeByKind(FixedVoltage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.FixedV != 0.95 {
+		t.Errorf("fixed voltage = %g, want 0.95 (§4)", fixed.FixedV)
+	}
+	if _, err := SchemeByKind("bogus"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	cases := map[SchemeKind]string{
+		FixedVoltage: "Fixed Voltage",
+		HCAPP:        "HCAPP",
+		RAPLLike:     "RAPL-like HCAPP",
+		SWLike:       "SW-like HCAPP",
+	}
+	for kind, want := range cases {
+		s, _ := SchemeByKind(kind)
+		if got := s.String(); got != want {
+			t.Errorf("%s String = %q, want %q", kind, got, want)
+		}
+	}
+	odd := Scheme{Kind: "weird"}
+	if odd.String() != "weird" {
+		t.Errorf("unknown kind String = %q", odd.String())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*SystemConfig)
+	}{
+		{"no cores", func(c *SystemConfig) { c.CPU.Cores = 0 }},
+		{"bad core model", func(c *SystemConfig) { c.CPU.Core.CEff = 0 }},
+		{"bad sm model", func(c *SystemConfig) { c.GPU.SM.CEff = -1 }},
+		{"bad global vr", func(c *SystemConfig) { c.GlobalVR.VMin = c.GlobalVR.VMax }},
+		{"bad sensor", func(c *SystemConfig) { c.Sensor.Delay = -1 }},
+		{"lut mismatch", func(c *SystemConfig) { c.Accel.PowerW = c.Accel.PowerW[:3] }},
+		{"zero timestep", func(c *SystemConfig) { c.TimeStep = 0 }},
+		{"zero domain scale", func(c *SystemConfig) { c.CPUDomain.Scale = 0 }},
+		{"empty domain range", func(c *SystemConfig) { c.GPUDomain.VMin = 2; c.GPUDomain.VMax = 1 }},
+		{"bad domain vr", func(c *SystemConfig) { c.AccelDomain.VR.VInit = 99 }},
+		{"bad local ratio", func(c *SystemConfig) { c.LocalCPU.RatioMin = 0 }},
+	}
+	for _, c := range cases {
+		cfg := Default()
+		c.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestDomainScales(t *testing.T) {
+	c := Default()
+	// §4.3/§4.4: GPU and accelerator domains scale the global voltage
+	// by 75 %; the CPU maps 1:1; memory is fixed.
+	if c.CPUDomain.Scale != 1.0 {
+		t.Errorf("CPU scale = %g", c.CPUDomain.Scale)
+	}
+	if c.GPUDomain.Scale != 0.75 {
+		t.Errorf("GPU scale = %g", c.GPUDomain.Scale)
+	}
+	if c.AccelDomain.Scale != 0.75 {
+		t.Errorf("accel scale = %g", c.AccelDomain.Scale)
+	}
+	if !c.MemDomain.Fixed {
+		t.Error("memory domain must be fixed voltage")
+	}
+}
+
+func TestLocalCPUConfig(t *testing.T) {
+	c := Default().LocalCPU
+	// §4.2: 60 % / 30 % thresholds, ±0.05 steps.
+	if c.UpperFrac != 0.60 || c.LowerFrac != 0.30 || c.Step != 0.05 {
+		t.Errorf("local CPU thresholds %+v", c)
+	}
+	if c.Epoch <= 0 {
+		t.Error("local epoch must be positive")
+	}
+}
+
+func TestAccelLUTShape(t *testing.T) {
+	c := Default().Accel
+	if len(c.VPoints) < 5 {
+		t.Fatal("accelerator LUT too sparse")
+	}
+	// Suresh et al. operating range: 230 mV – 950 mV.
+	if c.VPoints[0] != 0.23 || c.VPoints[len(c.VPoints)-1] != 0.95 {
+		t.Errorf("LUT voltage range [%g, %g]", c.VPoints[0], c.VPoints[len(c.VPoints)-1])
+	}
+	for i := 1; i < len(c.VPoints); i++ {
+		if c.PowerW[i] <= c.PowerW[i-1] {
+			t.Error("LUT power must increase with voltage")
+		}
+		if c.ThroughputGBs[i] <= c.ThroughputGBs[i-1] {
+			t.Error("LUT throughput must increase with voltage")
+		}
+	}
+}
+
+func TestFmtHz(t *testing.T) {
+	if got := fmtHz(2e9); got != "2 GHz" {
+		t.Errorf("fmtHz(2e9) = %q", got)
+	}
+	if got := fmtHz(700e6); got != "700 MHz" {
+		t.Errorf("fmtHz(700e6) = %q", got)
+	}
+	if got := fmtHz(50); got != "50 Hz" {
+		t.Errorf("fmtHz(50) = %q", got)
+	}
+}

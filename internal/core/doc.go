@@ -1,0 +1,23 @@
+// Package core implements the paper's primary contribution: the HCAPP
+// (Heterogeneous Constant Average Power Processing) three-level
+// decentralized power-control hierarchy (paper §3).
+//
+//   - Level 1, the global controller (global.go), measures total package
+//     power through the global VR's sensing circuitry and adjusts the
+//     global voltage with a cube-root-error PID loop (Eq. 1–2) to hold
+//     the package at its power target.
+//   - Level 2, the domain controllers (domain.go), normalize the global
+//     voltage to each chiplet's allowable range through a per-chiplet VR
+//     and expose the software priority register (§3.2) — the interface
+//     validated in §5.3.
+//   - Level 3, the local controllers (local.go), use purely local metrics
+//     (per-core / per-SM IPC) to trim a local voltage ratio, shifting
+//     power toward the units that can convert it into work: the CAPP
+//     static-threshold design for CPU cores (§3.3.1), the GPU-CAPP
+//     dynamic-IPC design with adaptive thresholds (§3.3.2), and the
+//     pass-through (and adversarial) accelerator designs (§3.3.3).
+//
+// Nothing in this package communicates globally except through the power
+// supply network itself — "the universal language of voltage and current"
+// — which is what lets HCAPP scale with chiplet count.
+package core

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"hcapp/internal/config"
+	"hcapp/internal/sim"
+	"hcapp/internal/vr"
+)
+
+// Domain is the level-2 controller: it normalizes the global voltage to
+// one chiplet's usable range through that chiplet's voltage regulator and
+// applies the software priority register (§3.2).
+//
+// "The domain controller uses the priority value as a scaling factor for
+// the domain voltage calculation. When a domain is de-prioritized by 10%,
+// the domain voltage controller multiplies the global voltage by 0.9x
+// before doing any domain-specific scaling."
+type Domain struct {
+	name       string
+	cfg        config.DomainConfig
+	reg        *vr.Regulator
+	priority   float64
+	out        float64
+	lastTarget float64
+	commanded  bool
+}
+
+// NewDomain constructs a domain controller for one chiplet.
+func NewDomain(name string, cfg config.DomainConfig) (*Domain, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("core: domain %q scale %g not positive", name, cfg.Scale)
+	}
+	if cfg.VMin > cfg.VMax {
+		return nil, fmt.Errorf("core: domain %q voltage range [%g,%g] empty", name, cfg.VMin, cfg.VMax)
+	}
+	reg, err := vr.NewRegulator(cfg.VR)
+	if err != nil {
+		return nil, fmt.Errorf("core: domain %q regulator: %w", name, err)
+	}
+	return &Domain{name: name, cfg: cfg, reg: reg, priority: 1.0, out: cfg.VR.VInit}, nil
+}
+
+// MustDomain is NewDomain that panics on invalid configuration.
+func MustDomain(name string, cfg config.DomainConfig) *Domain {
+	d, err := NewDomain(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name returns the domain's name.
+func (d *Domain) Name() string { return d.name }
+
+// Priority returns the current software priority value.
+func (d *Domain) Priority() float64 { return d.priority }
+
+// SetPriority writes the software priority register. Values are clamped
+// to (0, 1.25]; 1.0 is neutral, below 1.0 de-prioritizes the domain.
+// "The operating system can change the priority value dynamically by
+// modifying the register value" (§3.2).
+func (d *Domain) SetPriority(p float64) {
+	if p <= 0 {
+		p = 0.01
+	}
+	if p > 1.25 {
+		p = 1.25
+	}
+	d.priority = p
+}
+
+// Step computes the new domain voltage from the (PSN-delayed) global
+// voltage and advances the domain regulator by one engine step of dt,
+// returning the voltage delivered to the chiplet.
+func (d *Domain) Step(now sim.Time, dt sim.Time, vglobal float64) float64 {
+	var target float64
+	if d.cfg.Fixed {
+		// Constant-voltage domain (memory): ignore the global rail.
+		target = d.cfg.VMax
+	} else {
+		target = vglobal * d.priority * d.cfg.Scale
+		if target < d.cfg.VMin {
+			target = d.cfg.VMin
+		}
+		if target > d.cfg.VMax {
+			target = d.cfg.VMax
+		}
+	}
+	// Only issue a command when the target moves: re-commanding every
+	// step would restart the regulator's transition timer forever.
+	if !d.commanded || target != d.lastTarget {
+		d.reg.Command(now, target)
+		d.lastTarget = target
+		d.commanded = true
+	}
+	d.out = d.reg.Step(now, dt)
+	return d.out
+}
+
+// Output returns the domain voltage currently delivered.
+func (d *Domain) Output() float64 { return d.out }
+
+// Config returns the domain configuration.
+func (d *Domain) Config() config.DomainConfig { return d.cfg }
+
+// Reset rewinds the domain regulator and priority.
+func (d *Domain) Reset() {
+	d.reg.Reset()
+	d.priority = 1.0
+	d.out = d.cfg.VR.VInit
+	d.lastTarget = 0
+	d.commanded = false
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hcapp/internal/config"
+	"hcapp/internal/sim"
+	"hcapp/internal/vr"
+)
+
+func domCfg() config.DomainConfig {
+	return config.DomainConfig{
+		Scale: 0.75, VMin: 0.45, VMax: 0.90,
+		VR: vr.RegulatorConfig{VMin: 0.45, VMax: 0.90, VInit: 0.7125, TransitionTime: 0, SlewRate: 0},
+	}
+}
+
+func TestNewDomainErrors(t *testing.T) {
+	c := domCfg()
+	c.Scale = 0
+	if _, err := NewDomain("x", c); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	c = domCfg()
+	c.VMin, c.VMax = 1, 0.5
+	if _, err := NewDomain("x", c); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	c = domCfg()
+	c.VR.VInit = 99
+	if _, err := NewDomain("x", c); err == nil {
+		t.Fatal("bad regulator accepted")
+	}
+}
+
+func TestDomainScaling(t *testing.T) {
+	// Paper §4.3: "the domain controller scales the global voltage by
+	// 75% to match the approximate voltage range of the GPU".
+	d := MustDomain("gpu", domCfg())
+	got := d.Step(100, 100, 1.0)
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("domain voltage = %g, want 0.75", got)
+	}
+	if d.Output() != got {
+		t.Fatal("Output() disagrees with Step result")
+	}
+}
+
+func TestDomainClamping(t *testing.T) {
+	d := MustDomain("gpu", domCfg())
+	if got := d.Step(100, 100, 2.0); got != 0.90 {
+		t.Fatalf("over-range domain voltage = %g, want VMax", got)
+	}
+	if got := d.Step(200, 100, 0.1); got != 0.45 {
+		t.Fatalf("under-range domain voltage = %g, want VMin", got)
+	}
+}
+
+func TestDomainFixed(t *testing.T) {
+	// Constant-voltage domain (memory) ignores the global rail.
+	c := config.DomainConfig{
+		Scale: 1.0, VMin: 1.0, VMax: 1.0, Fixed: true,
+		VR: vr.RegulatorConfig{VMin: 0.99, VMax: 1.01, VInit: 1.0, TransitionTime: 0, SlewRate: 0},
+	}
+	d := MustDomain("mem", c)
+	for _, vg := range []float64{0.6, 0.95, 1.2} {
+		if got := d.Step(100, 100, vg); got != 1.0 {
+			t.Fatalf("fixed domain at global %g = %g, want 1.0", vg, got)
+		}
+	}
+}
+
+func TestDomainPriority(t *testing.T) {
+	// Paper §3.2: "when a domain is de-prioritized by 10%, the domain
+	// voltage controller multiplies the global voltage by 0.9x before
+	// doing any domain-specific scaling".
+	d := MustDomain("gpu", domCfg())
+	d.SetPriority(0.9)
+	got := d.Step(100, 100, 1.0)
+	if math.Abs(got-0.675) > 1e-12 {
+		t.Fatalf("de-prioritized voltage = %g, want 0.675", got)
+	}
+	if d.Priority() != 0.9 {
+		t.Fatalf("Priority() = %g", d.Priority())
+	}
+}
+
+func TestDomainPriorityClamps(t *testing.T) {
+	d := MustDomain("gpu", domCfg())
+	d.SetPriority(-5)
+	if d.Priority() <= 0 {
+		t.Fatalf("negative priority accepted: %g", d.Priority())
+	}
+	d.SetPriority(99)
+	if d.Priority() > 1.25 {
+		t.Fatalf("unbounded priority accepted: %g", d.Priority())
+	}
+}
+
+func TestDomainTransitionNotRestarted(t *testing.T) {
+	// Regression test for the bug where re-commanding an unchanged
+	// target every step restarted the VR transition forever.
+	c := domCfg()
+	c.VR.TransitionTime = 500
+	c.VR.SlewRate = 5e6
+	d := MustDomain("gpu", c)
+	var got float64
+	for now := sim.Time(100); now <= 5000; now += 100 {
+		got = d.Step(now, 100, 0.6) // target 0.45 (clamped)
+	}
+	if math.Abs(got-0.45) > 1e-9 {
+		t.Fatalf("domain never settled: %g, want 0.45", got)
+	}
+}
+
+func TestDomainReset(t *testing.T) {
+	d := MustDomain("gpu", domCfg())
+	d.SetPriority(0.8)
+	d.Step(100, 100, 1.1)
+	d.Reset()
+	if d.Priority() != 1.0 {
+		t.Fatal("reset did not restore priority")
+	}
+	if d.Output() != 0.7125 {
+		t.Fatalf("reset output = %g", d.Output())
+	}
+}
+
+func TestDomainName(t *testing.T) {
+	d := MustDomain("sha", domCfg())
+	if d.Name() != "sha" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hcapp/internal/pid"
+	"hcapp/internal/sim"
+	"hcapp/internal/vr"
+)
+
+func globalCfg() GlobalConfig {
+	return GlobalConfig{
+		Period:      1 * sim.Microsecond,
+		TargetPower: 86,
+		PID: pid.Config{
+			KP: 0.006, KI: 2500, FeedForward: 0.95,
+			OutMin: 0.6, OutMax: 1.2, OverGain: 6,
+		},
+	}
+}
+
+func testReg() *vr.Regulator {
+	return vr.MustRegulator(vr.RegulatorConfig{
+		VMin: 0.6, VMax: 1.2, VInit: 0.95, TransitionTime: 0, SlewRate: 0,
+	})
+}
+
+func TestGlobalConfigValidate(t *testing.T) {
+	if err := globalCfg().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	c := globalCfg()
+	c.Period = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	c = globalCfg()
+	c.TargetPower = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	c = globalCfg()
+	c.PID.OutMin, c.PID.OutMax = 1, 1
+	if err := c.Validate(); err == nil {
+		t.Fatal("bad PID accepted")
+	}
+}
+
+func TestVErr(t *testing.T) {
+	// Eq. 1: VErr = cbrt(PSPEC − PNOW), signed.
+	if got := VErr(100, 73); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("VErr(100,73) = %g, want 3", got)
+	}
+	if got := VErr(73, 100); math.Abs(got+3) > 1e-12 {
+		t.Fatalf("VErr(73,100) = %g, want -3", got)
+	}
+	if got := VErr(80, 80); got != 0 {
+		t.Fatalf("VErr at target = %g", got)
+	}
+}
+
+func TestGlobalFiresOncePerPeriod(t *testing.T) {
+	g := MustGlobal(globalCfg())
+	reg := testReg()
+	fired := 0
+	// 30 steps of 100 ns = 3 µs → 3 firings (at 1, 2, 3 µs; the first
+	// waits for a full window).
+	for i := 1; i <= 30; i++ {
+		if g.Step(sim.Time(i)*100, 50, reg) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times in 3 µs, want 3", fired)
+	}
+	if g.Cycles() != 3 {
+		t.Fatalf("Cycles() = %d", g.Cycles())
+	}
+}
+
+func TestGlobalRaisesVoltageWhenUnderTarget(t *testing.T) {
+	g := MustGlobal(globalCfg())
+	reg := testReg()
+	for i := 1; i <= 50; i++ {
+		g.Step(sim.Time(i)*100, 40, reg) // far below 86 W target
+	}
+	if g.LastCommand() <= 0.95 {
+		t.Fatalf("command %g did not rise above feed-forward", g.LastCommand())
+	}
+}
+
+func TestGlobalCutsVoltageWhenOverTarget(t *testing.T) {
+	g := MustGlobal(globalCfg())
+	reg := testReg()
+	for i := 1; i <= 50; i++ {
+		g.Step(sim.Time(i)*100, 150, reg)
+	}
+	if g.LastCommand() >= 0.95 {
+		t.Fatalf("command %g did not fall below feed-forward", g.LastCommand())
+	}
+}
+
+func TestGlobalWindowAveraging(t *testing.T) {
+	// The controller reads the mean over its window, not the last
+	// sample: a single-step spike in a 10-step window contributes 1/10.
+	g := MustGlobal(globalCfg())
+	reg := testReg()
+	for i := 1; i <= 9; i++ {
+		g.Step(sim.Time(i)*100, 86, reg)
+	}
+	g.Step(1000, 186, reg) // spike on the firing step
+	want := (86*9 + 186) / 10.0
+	if got := g.LastWindowPower(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("window power = %g, want %g", got, want)
+	}
+}
+
+func TestGlobalAsymmetricResponse(t *testing.T) {
+	// With OverGain > 1, a +X W error must move the voltage less than a
+	// −X W error moves it down (throttle fast, recover slow).
+	mk := func() (*Global, *vr.Regulator) { return MustGlobal(globalCfg()), testReg() }
+
+	gUp, regUp := mk()
+	for i := 1; i <= 10; i++ {
+		gUp.Step(sim.Time(i)*100, 56, regUp) // 30 W under target
+	}
+	up := gUp.LastCommand() - 0.95
+
+	gDn, regDn := mk()
+	for i := 1; i <= 10; i++ {
+		gDn.Step(sim.Time(i)*100, 116, regDn) // 30 W over target
+	}
+	down := 0.95 - gDn.LastCommand()
+
+	if down <= up {
+		t.Fatalf("throttle (%g) not faster than recovery (%g)", down, up)
+	}
+}
+
+func TestGlobalSetTargetPower(t *testing.T) {
+	g := MustGlobal(globalCfg())
+	g.SetTargetPower(96)
+	if g.Config().TargetPower != 96 {
+		t.Fatalf("target = %g", g.Config().TargetPower)
+	}
+	g.SetTargetPower(-5) // ignored
+	if g.Config().TargetPower != 96 {
+		t.Fatal("negative target accepted")
+	}
+}
+
+func TestGlobalReset(t *testing.T) {
+	g := MustGlobal(globalCfg())
+	reg := testReg()
+	for i := 1; i <= 100; i++ {
+		g.Step(sim.Time(i)*100, 40, reg)
+	}
+	g.Reset()
+	if g.Cycles() != 0 || g.LastCommand() != 0.95 || g.LastWindowPower() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	// Post-reset behaviour matches a fresh controller.
+	fresh := MustGlobal(globalCfg())
+	regA, regB := testReg(), testReg()
+	for i := 1; i <= 20; i++ {
+		g.Step(sim.Time(i)*100, 60, regA)
+		fresh.Step(sim.Time(i)*100, 60, regB)
+	}
+	if g.LastCommand() != fresh.LastCommand() {
+		t.Fatalf("post-reset diverged: %g vs %g", g.LastCommand(), fresh.LastCommand())
+	}
+}
+
+func TestGlobalFirstActionWaitsFullWindow(t *testing.T) {
+	g := MustGlobal(globalCfg())
+	reg := testReg()
+	// Before one full period has elapsed, no command may fire.
+	for i := 1; i < 10; i++ {
+		if g.Step(sim.Time(i)*100, 0, reg) {
+			t.Fatalf("fired at %d ns, before the first full window", i*100)
+		}
+	}
+	if !g.Step(1000, 0, reg) {
+		t.Fatal("did not fire at the first full window")
+	}
+}
+
+func TestGlobalClosedLoopHoldsTarget(t *testing.T) {
+	// Close the loop against a simple cubic plant P = k·V³ and verify
+	// the controller settles near the target.
+	g := MustGlobal(globalCfg())
+	reg := testReg()
+	k := 86 / math.Pow(0.98, 3) // target reachable just above feed-forward
+	v := reg.Output()
+	var p float64
+	for i := 1; i <= 20000; i++ {
+		now := sim.Time(i) * 100
+		v = reg.Step(now, 100)
+		p = k * v * v * v
+		g.Step(now, p, reg)
+	}
+	if math.Abs(p-86) > 3 {
+		t.Fatalf("closed loop settled at %.2f W, want 86±3", p)
+	}
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+
+	"hcapp/internal/sim"
+)
+
+// Metrics is the per-epoch measurement a local controller sees. Only
+// local quantities appear here — HCAPP's level 3 never sees global state
+// (§3.3), which is what keeps the design decentralized.
+type Metrics struct {
+	// IPC is the unit's measured instructions per cycle over the epoch.
+	IPC float64
+	// Activity is the unit's mean switching activity over the epoch —
+	// the occupancy proxy used by the GPU-CAPP "dynamic warp" design.
+	Activity float64
+	// TempC is the local thermal sensor reading, °C (0 if unsensed).
+	TempC float64
+}
+
+// Local is the level-3 controller attached to one execution unit (CPU
+// core or GPU SM). Each local epoch the owning simulator reports the
+// unit's measured metrics and current domain voltage; the controller
+// answers with the local voltage ratio to apply ("the ratio of the
+// domain voltage to use locally", §3.3.1).
+type Local interface {
+	// Epoch ingests one epoch's metrics and returns the new ratio.
+	Epoch(now sim.Time, m Metrics, vdomain float64) float64
+	// Ratio returns the current ratio without updating.
+	Ratio() float64
+	// Reset rewinds the controller to its initial state.
+	Reset()
+}
+
+// RatioRange bounds a local controller's output ratio.
+type RatioRange struct {
+	Min, Max float64
+}
+
+// DefaultRatioRange is the ratio window used by both CAPP-style
+// controllers when not overridden.
+var DefaultRatioRange = RatioRange{Min: 0.75, Max: 1.0}
+
+func (r RatioRange) validate() error {
+	if r.Min <= 0 || r.Min > r.Max || r.Max > 1.5 {
+		return fmt.Errorf("core: invalid ratio range [%g,%g]", r.Min, r.Max)
+	}
+	return nil
+}
+
+func (r RatioRange) clamp(x float64) float64 {
+	if x < r.Min {
+		return r.Min
+	}
+	if x > r.Max {
+		return r.Max
+	}
+	return x
+}
+
+// StaticIPC is the CAPP CPU local controller (§3.3.1, §4.2): fixed IPC
+// thresholds expressed as fractions of the architectural maximum IPC.
+// "If the core IPC exceeds 60% of the maximum possible IPC, the local
+// voltage ratio is increased by 0.05. If the IPC falls below 30% ... the
+// local voltage ratio is decreased by 0.05."
+type StaticIPC struct {
+	upper, lower float64 // absolute IPC thresholds
+	step         float64
+	rng          RatioRange
+	ratio        float64
+}
+
+// NewStaticIPC builds the controller. maxIPC is the architectural peak;
+// upperFrac/lowerFrac the threshold fractions; step the per-epoch ratio
+// adjustment.
+func NewStaticIPC(maxIPC, upperFrac, lowerFrac, step float64, rng RatioRange) (*StaticIPC, error) {
+	if err := rng.validate(); err != nil {
+		return nil, err
+	}
+	if maxIPC <= 0 || upperFrac <= lowerFrac || lowerFrac <= 0 || upperFrac > 1 {
+		return nil, fmt.Errorf("core: invalid static IPC thresholds (max=%g upper=%g lower=%g)", maxIPC, upperFrac, lowerFrac)
+	}
+	if step <= 0 || step > rng.Max-rng.Min {
+		return nil, fmt.Errorf("core: invalid ratio step %g", step)
+	}
+	return &StaticIPC{
+		upper: maxIPC * upperFrac,
+		lower: maxIPC * lowerFrac,
+		step:  step,
+		rng:   rng,
+		ratio: rng.Max,
+	}, nil
+}
+
+// MustStaticIPC is NewStaticIPC that panics on invalid input.
+func MustStaticIPC(maxIPC, upperFrac, lowerFrac, step float64, rng RatioRange) *StaticIPC {
+	c, err := NewStaticIPC(maxIPC, upperFrac, lowerFrac, step, rng)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Epoch implements Local.
+func (c *StaticIPC) Epoch(_ sim.Time, m Metrics, _ float64) float64 {
+	switch {
+	case m.IPC > c.upper:
+		c.ratio = c.rng.clamp(c.ratio + c.step)
+	case m.IPC < c.lower:
+		c.ratio = c.rng.clamp(c.ratio - c.step)
+	}
+	return c.ratio
+}
+
+// Ratio implements Local.
+func (c *StaticIPC) Ratio() float64 { return c.ratio }
+
+// Reset implements Local.
+func (c *StaticIPC) Reset() { c.ratio = c.rng.Max }
+
+// DynamicIPC is the GPU-CAPP dynamic-IPC local controller (§3.3.2,
+// §4.3): like StaticIPC, but the thresholds themselves adapt to steer the
+// domain voltage toward a preset target. "The local controller increases
+// the thresholds when the domain voltage is below a preset target domain
+// voltage value... when the domain voltage is above the target value, the
+// local controller decreases the thresholds", by ±5 % per epoch with a
+// 5 % dead zone.
+type DynamicIPC struct {
+	upper, lower   float64
+	upper0, lower0 float64
+	thMin, thMax   float64
+	thStep         float64 // multiplicative threshold step (0.05 = ±5 %)
+	targetV        float64
+	deadZone       float64 // fractional dead zone around targetV
+	step           float64 // ratio step
+	rng            RatioRange
+	ratio          float64
+	// metric extracts the controlled quantity from the epoch metrics:
+	// IPC for the paper's chosen design, activity (occupancy) for the
+	// GPU-CAPP "dynamic warp" alternative.
+	metric func(Metrics) float64
+}
+
+// NewDynamicIPC builds the controller. The thresholds start at
+// upperFrac/lowerFrac of maxIPC and adapt within [2 % of maxIPC, maxIPC].
+func NewDynamicIPC(maxIPC, upperFrac, lowerFrac, step float64, targetV, deadZone, thStep float64, rng RatioRange) (*DynamicIPC, error) {
+	if err := rng.validate(); err != nil {
+		return nil, err
+	}
+	if maxIPC <= 0 || upperFrac <= lowerFrac || lowerFrac <= 0 || upperFrac > 1 {
+		return nil, fmt.Errorf("core: invalid dynamic IPC thresholds (max=%g upper=%g lower=%g)", maxIPC, upperFrac, lowerFrac)
+	}
+	if step <= 0 || thStep <= 0 || thStep >= 1 {
+		return nil, fmt.Errorf("core: invalid steps (ratio=%g threshold=%g)", step, thStep)
+	}
+	if targetV <= 0 || deadZone < 0 || deadZone >= 1 {
+		return nil, fmt.Errorf("core: invalid target voltage %g / dead zone %g", targetV, deadZone)
+	}
+	return &DynamicIPC{
+		upper: maxIPC * upperFrac, lower: maxIPC * lowerFrac,
+		upper0: maxIPC * upperFrac, lower0: maxIPC * lowerFrac,
+		thMin: maxIPC * 0.02, thMax: maxIPC,
+		thStep: thStep, targetV: targetV, deadZone: deadZone,
+		step: step, rng: rng, ratio: rng.Max,
+		metric: func(m Metrics) float64 { return m.IPC },
+	}, nil
+}
+
+// NewDynamicOccupancy builds the GPU-CAPP "dynamic warp" alternative
+// local controller (§3.3.2 cites it as the other effective design): the
+// same adaptive-threshold machinery keyed on the unit's occupancy
+// (activity) instead of IPC. maxOcc is the occupancy treated as full
+// (1.0 for an activity factor).
+func NewDynamicOccupancy(maxOcc, upperFrac, lowerFrac, step float64, targetV, deadZone, thStep float64, rng RatioRange) (*DynamicIPC, error) {
+	c, err := NewDynamicIPC(maxOcc, upperFrac, lowerFrac, step, targetV, deadZone, thStep, rng)
+	if err != nil {
+		return nil, err
+	}
+	c.metric = func(m Metrics) float64 { return m.Activity }
+	return c, nil
+}
+
+// MustDynamicIPC is NewDynamicIPC that panics on invalid input.
+func MustDynamicIPC(maxIPC, upperFrac, lowerFrac, step float64, targetV, deadZone, thStep float64, rng RatioRange) *DynamicIPC {
+	c, err := NewDynamicIPC(maxIPC, upperFrac, lowerFrac, step, targetV, deadZone, thStep, rng)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Epoch implements Local.
+func (c *DynamicIPC) Epoch(_ sim.Time, m Metrics, vdomain float64) float64 {
+	// Adapt thresholds to pull the domain voltage toward the target.
+	lo := c.targetV * (1 - c.deadZone)
+	hi := c.targetV * (1 + c.deadZone)
+	switch {
+	case vdomain < lo:
+		c.scaleThresholds(1 + c.thStep)
+	case vdomain > hi:
+		c.scaleThresholds(1 - c.thStep)
+	}
+	v := c.metric(m)
+	switch {
+	case v > c.upper:
+		c.ratio = c.rng.clamp(c.ratio + c.step)
+	case v < c.lower:
+		c.ratio = c.rng.clamp(c.ratio - c.step)
+	}
+	return c.ratio
+}
+
+func (c *DynamicIPC) scaleThresholds(k float64) {
+	c.upper *= k
+	c.lower *= k
+	if c.upper > c.thMax {
+		c.upper = c.thMax
+	}
+	if c.upper < c.thMin*2 {
+		c.upper = c.thMin * 2
+	}
+	if c.lower > c.upper/2 {
+		c.lower = c.upper / 2
+	}
+	if c.lower < c.thMin {
+		c.lower = c.thMin
+	}
+}
+
+// Thresholds exposes the adaptive thresholds for tests and traces.
+func (c *DynamicIPC) Thresholds() (upper, lower float64) { return c.upper, c.lower }
+
+// Ratio implements Local.
+func (c *DynamicIPC) Ratio() float64 { return c.ratio }
+
+// Reset implements Local.
+func (c *DynamicIPC) Reset() {
+	c.ratio = c.rng.Max
+	c.upper, c.lower = c.upper0, c.lower0
+}
+
+// PassThrough is the accelerator local controller (§3.3.3): "a simple
+// pass-through local controller which provides overvoltage and
+// undervoltage protection but does not apply a local voltage ratio." The
+// protection bounds are enforced by clamping the effective ratio so the
+// delivered voltage stays within [VMin, VMax].
+type PassThrough struct {
+	VMin, VMax float64
+	ratio      float64
+}
+
+// NewPassThrough builds the protection-only controller.
+func NewPassThrough(vmin, vmax float64) (*PassThrough, error) {
+	if vmin < 0 || vmin >= vmax {
+		return nil, fmt.Errorf("core: invalid protection window [%g,%g]", vmin, vmax)
+	}
+	return &PassThrough{VMin: vmin, VMax: vmax, ratio: 1.0}, nil
+}
+
+// MustPassThrough is NewPassThrough that panics on invalid input.
+func MustPassThrough(vmin, vmax float64) *PassThrough {
+	c, err := NewPassThrough(vmin, vmax)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Epoch implements Local: the ratio is whatever keeps v·ratio within the
+// protection window, and 1.0 otherwise.
+func (c *PassThrough) Epoch(_ sim.Time, _ Metrics, vdomain float64) float64 {
+	c.ratio = 1.0
+	if vdomain > c.VMax {
+		c.ratio = c.VMax / vdomain
+	}
+	// Undervoltage cannot be fixed by a down-converting local VR; the
+	// component's own model treats sub-VMin supplies as non-operational,
+	// which is the protective behaviour.
+	return c.ratio
+}
+
+// Ratio implements Local.
+func (c *PassThrough) Ratio() float64 { return c.ratio }
+
+// Reset implements Local.
+func (c *PassThrough) Reset() { c.ratio = 1.0 }
+
+// Adversarial is the worst-case local controller contemplated in §3.3.3:
+// it "always uses all of the available voltage possible, ignoring any
+// local metric information" — including boosting past its domain
+// allocation up to whatever its silicon tolerates. HCAPP must still hold
+// the package power limit with this controller in the system, because
+// the global controller prices total power, not intent; only the
+// adversary's neighbours pay. The ablation bench verifies that.
+type Adversarial struct {
+	// Boost is the ratio the controller always requests; values > 1
+	// model a local VR boosting beyond the domain allocation. Zero
+	// defaults to 1.25.
+	Boost float64
+}
+
+// Epoch implements Local: always the maximum ratio.
+func (a Adversarial) Epoch(_ sim.Time, _ Metrics, _ float64) float64 { return a.Ratio() }
+
+// Ratio implements Local.
+func (a Adversarial) Ratio() float64 {
+	if a.Boost <= 0 {
+		return 1.25
+	}
+	return a.Boost
+}
+
+// Reset implements Local.
+func (Adversarial) Reset() {}
+
+// None is a nil local controller for components without voltage-change
+// capability (§3.3: the local level applies only "if applicable based on
+// the subcomponent").
+type None struct{}
+
+// Epoch implements Local.
+func (None) Epoch(_ sim.Time, _ Metrics, _ float64) float64 { return 1.0 }
+
+// Ratio implements Local.
+func (None) Ratio() float64 { return 1.0 }
+
+// Reset implements Local.
+func (None) Reset() {}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStaticIPCConstruction(t *testing.T) {
+	if _, err := NewStaticIPC(2.5, 0.6, 0.3, 0.05, DefaultRatioRange); err != nil {
+		t.Fatalf("valid controller rejected: %v", err)
+	}
+	bad := []struct {
+		name                       string
+		maxIPC, upper, lower, step float64
+		rng                        RatioRange
+	}{
+		{"zero max ipc", 0, 0.6, 0.3, 0.05, DefaultRatioRange},
+		{"upper below lower", 2.5, 0.3, 0.6, 0.05, DefaultRatioRange},
+		{"zero lower", 2.5, 0.6, 0, 0.05, DefaultRatioRange},
+		{"upper above 1", 2.5, 1.5, 0.3, 0.05, DefaultRatioRange},
+		{"zero step", 2.5, 0.6, 0.3, 0, DefaultRatioRange},
+		{"step exceeds range", 2.5, 0.6, 0.3, 0.5, RatioRange{0.9, 1.0}},
+		{"bad range", 2.5, 0.6, 0.3, 0.05, RatioRange{0, 1}},
+		{"inverted range", 2.5, 0.6, 0.3, 0.05, RatioRange{1.0, 0.8}},
+	}
+	for _, c := range bad {
+		if _, err := NewStaticIPC(c.maxIPC, c.upper, c.lower, c.step, c.rng); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestStaticIPCBehaviour(t *testing.T) {
+	// Paper §4.2: IPC > 60 % of max → ratio += 0.05; < 30 % → −0.05.
+	c := MustStaticIPC(2.5, 0.6, 0.3, 0.05, RatioRange{0.75, 1.0})
+	if c.Ratio() != 1.0 {
+		t.Fatalf("initial ratio %g, want max", c.Ratio())
+	}
+	// High IPC at the max: stays clamped.
+	if got := c.Epoch(0, Metrics{IPC: 2.0}, 1.0); got != 1.0 {
+		t.Fatalf("high-IPC ratio %g, want clamp at 1.0", got)
+	}
+	// Low IPC steps down by exactly 0.05 each epoch.
+	if got := c.Epoch(0, Metrics{IPC: 0.2}, 1.0); math.Abs(got-0.95) > 1e-12 {
+		t.Fatalf("ratio after one low epoch = %g, want 0.95", got)
+	}
+	for i := 0; i < 10; i++ {
+		c.Epoch(0, Metrics{IPC: 0.2}, 1.0)
+	}
+	if got := c.Ratio(); got != 0.75 {
+		t.Fatalf("ratio floor = %g, want 0.75", got)
+	}
+	// Mid IPC holds.
+	if got := c.Epoch(0, Metrics{IPC: 1.2}, 1.0); got != 0.75 {
+		t.Fatalf("mid-IPC moved ratio to %g", got)
+	}
+	// High IPC recovers.
+	if got := c.Epoch(0, Metrics{IPC: 1.6}, 1.0); math.Abs(got-0.80) > 1e-12 {
+		t.Fatalf("recovery ratio %g, want 0.80", got)
+	}
+	c.Reset()
+	if c.Ratio() != 1.0 {
+		t.Fatal("reset did not restore max ratio")
+	}
+}
+
+func TestStaticIPCThresholdEdges(t *testing.T) {
+	c := MustStaticIPC(2.5, 0.6, 0.3, 0.05, RatioRange{0.75, 1.0})
+	// Exactly at a threshold: no change (strict comparisons).
+	if got := c.Epoch(0, Metrics{IPC: 1.5}, 1.0); got != 1.0 {
+		t.Fatalf("at-upper-threshold ratio %g", got)
+	}
+	if got := c.Epoch(0, Metrics{IPC: 0.75}, 1.0); got != 1.0 {
+		t.Fatalf("at-lower-threshold ratio %g", got)
+	}
+}
+
+func TestStaticIPCRatioAlwaysInRange(t *testing.T) {
+	c := MustStaticIPC(2.5, 0.6, 0.3, 0.05, RatioRange{0.8, 1.0})
+	f := func(ipcs []float64) bool {
+		for _, ipc := range ipcs {
+			if math.IsNaN(ipc) {
+				continue
+			}
+			r := c.Epoch(0, Metrics{IPC: math.Abs(ipc)}, 1.0)
+			if r < 0.8-1e-12 || r > 1.0+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicIPCConstruction(t *testing.T) {
+	if _, err := NewDynamicIPC(2.2, 0.6, 0.3, 0.05, 0.72, 0.05, 0.05, DefaultRatioRange); err != nil {
+		t.Fatalf("valid controller rejected: %v", err)
+	}
+	bad := []struct {
+		name     string
+		targetV  float64
+		deadZone float64
+		thStep   float64
+	}{
+		{"zero target", 0, 0.05, 0.05},
+		{"negative deadzone", 0.72, -0.1, 0.05},
+		{"deadzone 1", 0.72, 1, 0.05},
+		{"zero thstep", 0.72, 0.05, 0},
+		{"thstep 1", 0.72, 0.05, 1},
+	}
+	for _, c := range bad {
+		if _, err := NewDynamicIPC(2.2, 0.6, 0.3, 0.05, c.targetV, c.deadZone, c.thStep, DefaultRatioRange); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestDynamicIPCThresholdAdaptation(t *testing.T) {
+	// Paper §3.3.2: domain voltage below target → thresholds rise;
+	// above target → thresholds fall; inside dead zone → unchanged.
+	c := MustDynamicIPC(2.2, 0.6, 0.3, 0.05, 0.72, 0.05, 0.05, DefaultRatioRange)
+	u0, l0 := c.Thresholds()
+
+	c.Epoch(0, Metrics{IPC: 1.0}, 0.60) // well below target
+	u1, l1 := c.Thresholds()
+	if u1 <= u0 || l1 <= l0 {
+		t.Fatalf("thresholds did not rise: %g/%g -> %g/%g", u0, l0, u1, l1)
+	}
+
+	c.Reset()
+	c.Epoch(0, Metrics{IPC: 1.0}, 0.85) // well above target
+	u2, l2 := c.Thresholds()
+	if u2 >= u0 || l2 >= l0 {
+		t.Fatalf("thresholds did not fall: %g/%g -> %g/%g", u0, l0, u2, l2)
+	}
+
+	c.Reset()
+	c.Epoch(0, Metrics{IPC: 1.0}, 0.72) // inside dead zone
+	u3, l3 := c.Thresholds()
+	if u3 != u0 || l3 != l0 {
+		t.Fatalf("thresholds moved inside dead zone: %g/%g", u3, l3)
+	}
+}
+
+func TestDynamicIPCThresholdBounds(t *testing.T) {
+	c := MustDynamicIPC(2.2, 0.6, 0.3, 0.05, 0.72, 0.05, 0.05, DefaultRatioRange)
+	// Push thresholds up for a long time: they must stay bounded and
+	// ordered (lower < upper).
+	for i := 0; i < 1000; i++ {
+		c.Epoch(0, Metrics{IPC: 1.0}, 0.5)
+	}
+	u, l := c.Thresholds()
+	if u > 2.2 {
+		t.Fatalf("upper threshold escaped: %g", u)
+	}
+	if l >= u {
+		t.Fatalf("thresholds crossed: %g >= %g", l, u)
+	}
+	// And down.
+	c.Reset()
+	for i := 0; i < 1000; i++ {
+		c.Epoch(0, Metrics{IPC: 1.0}, 0.9)
+	}
+	u, l = c.Thresholds()
+	if l < 2.2*0.02-1e-12 {
+		t.Fatalf("lower threshold collapsed: %g", l)
+	}
+	if l >= u {
+		t.Fatalf("thresholds crossed after shrink: %g >= %g", l, u)
+	}
+}
+
+func TestDynamicIPCRatioResponse(t *testing.T) {
+	c := MustDynamicIPC(2.2, 0.6, 0.3, 0.05, 0.72, 0.05, 0.05, RatioRange{0.75, 1.0})
+	// Low IPC inside dead zone reduces ratio.
+	got := c.Epoch(0, Metrics{IPC: 0.1}, 0.72)
+	if math.Abs(got-0.95) > 1e-12 {
+		t.Fatalf("low-IPC ratio = %g, want 0.95", got)
+	}
+	// The self-balancing loop: voltage above target long enough drops
+	// thresholds until even a modest IPC passes, recovering the ratio.
+	for i := 0; i < 200; i++ {
+		c.Epoch(0, Metrics{IPC: 0.3}, 0.9)
+	}
+	if c.Ratio() != 1.0 {
+		t.Fatalf("ratio did not recover via threshold adaptation: %g", c.Ratio())
+	}
+}
+
+func TestDynamicIPCReset(t *testing.T) {
+	c := MustDynamicIPC(2.2, 0.6, 0.3, 0.05, 0.72, 0.05, 0.05, DefaultRatioRange)
+	u0, l0 := c.Thresholds()
+	for i := 0; i < 50; i++ {
+		c.Epoch(0, Metrics{IPC: 0.1}, 0.5)
+	}
+	c.Reset()
+	u, l := c.Thresholds()
+	if u != u0 || l != l0 || c.Ratio() != 1.0 {
+		t.Fatalf("reset incomplete: u=%g l=%g r=%g", u, l, c.Ratio())
+	}
+}
+
+func TestPassThrough(t *testing.T) {
+	c := MustPassThrough(0.23, 0.95)
+	// In-range voltage: unity ratio.
+	if got := c.Epoch(0, Metrics{IPC: 0}, 0.7); got != 1.0 {
+		t.Fatalf("in-range ratio = %g", got)
+	}
+	// Overvoltage: ratio clamps delivered voltage to VMax.
+	got := c.Epoch(0, Metrics{IPC: 0}, 1.2)
+	if math.Abs(got*1.2-0.95) > 1e-12 {
+		t.Fatalf("overvoltage protection: %g · 1.2 = %g, want 0.95", got, got*1.2)
+	}
+	// Undervoltage: ratio stays 1 (component powers down instead).
+	if got := c.Epoch(0, Metrics{IPC: 0}, 0.1); got != 1.0 {
+		t.Fatalf("undervoltage ratio = %g", got)
+	}
+	c.Reset()
+	if c.Ratio() != 1.0 {
+		t.Fatal("reset ratio")
+	}
+}
+
+func TestPassThroughConstruction(t *testing.T) {
+	if _, err := NewPassThrough(0.5, 0.4); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	if _, err := NewPassThrough(-0.1, 0.4); err == nil {
+		t.Fatal("negative vmin accepted")
+	}
+}
+
+func TestAdversarial(t *testing.T) {
+	a := Adversarial{}
+	if got := a.Epoch(0, Metrics{IPC: 0}, 0.5); got != 1.25 {
+		t.Fatalf("default adversarial ratio = %g, want 1.25", got)
+	}
+	b := Adversarial{Boost: 1.1}
+	if got := b.Ratio(); got != 1.1 {
+		t.Fatalf("boost ratio = %g", got)
+	}
+	b.Reset() // must not panic
+}
+
+func TestNone(t *testing.T) {
+	var n None
+	if n.Epoch(0, Metrics{IPC: 5}, 0.9) != 1.0 || n.Ratio() != 1.0 {
+		t.Fatal("None controller must be unity")
+	}
+	n.Reset()
+}

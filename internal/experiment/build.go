@@ -1,0 +1,293 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hcapp/internal/accelsim"
+	"hcapp/internal/chiplet"
+	"hcapp/internal/config"
+	"hcapp/internal/core"
+	"hcapp/internal/cpusim"
+	"hcapp/internal/gpusim"
+	"hcapp/internal/pid"
+	"hcapp/internal/psn"
+	"hcapp/internal/sched"
+	"hcapp/internal/sim"
+	"hcapp/internal/thermal"
+	"hcapp/internal/trace"
+	"hcapp/internal/vr"
+)
+
+// DefaultTargetDuration is the nominal run length the work pools are
+// sized for at the fixed-voltage operating point.
+const DefaultTargetDuration = 16 * sim.Millisecond
+
+// TargetPowerFor returns PSPEC — the global controller's power target —
+// for a given limit. The target carries the guardband: a 20 µs window
+// forces a larger margin below the 100 W limit than a 1 ms window
+// because less overshoot can average away inside the window ("the power
+// target is not the power limit because HCAPP will have maximum values
+// above the power target and those cannot exceed the power limit",
+// §5.1). Values come from the calibration sweep in calibrate.go
+// (cmd/hcapp-tune regenerates them).
+func TargetPowerFor(limit config.PowerLimit) float64 {
+	if limit.Window <= 100*sim.Microsecond {
+		return limit.Watts * 0.86
+	}
+	return limit.Watts * 0.99
+}
+
+// DefaultPID returns the Eq. 2 gains tuned for HCAPP's 1 µs control
+// period per the §3.1 procedure (raise KP to the edge of instability,
+// then raise KI until steady state is reached; KD unneeded → PI). The
+// same continuous-time constants are reused unchanged at the RAPL-like
+// and SW-like periods and across both power limits, as in the paper.
+func DefaultPID(vrCfg vr.RegulatorConfig) pid.Config {
+	return pid.Config{
+		KP:          0.006,
+		KI:          2500,
+		KD:          0,
+		FeedForward: 0.95, // ≈ average expected voltage (§3.1)
+		OutMin:      vrCfg.VMin,
+		OutMax:      vrCfg.VMax,
+		// Throttle-fast/recover-slow asymmetry: over-limit excursions
+		// are a hardware failure, undershoot only costs performance.
+		OverGain: 12,
+	}
+}
+
+// DefaultPIDFor returns the gains for one control variant. Each variant
+// is the same Eq. 2 law discretized and stabilized for its own control
+// period, the way the firmware (RAPL-like) or OS (SW-like) implementation
+// of the same controller would be tuned: slower loops take larger
+// per-update integral steps, so their continuous-time gains must shrink
+// to stay stable, which is precisely why they "cannot react quickly
+// enough to take advantage of the changes in power" (§5.2).
+func DefaultPIDFor(scheme config.Scheme, vrCfg vr.RegulatorConfig) pid.Config {
+	base := DefaultPID(vrCfg)
+	switch scheme.Kind {
+	case config.RAPLLike:
+		base.KP, base.KI, base.OverGain = 0.003, 25, 3
+	case config.SWLike:
+		base.KP, base.KI, base.OverGain = 0.002, 3, 1
+	}
+	return base
+}
+
+// BuildOptions parameterizes system assembly.
+type BuildOptions struct {
+	Scheme config.Scheme
+	// TargetPower is PSPEC for dynamic schemes; ignored for fixed.
+	TargetPower float64
+	// PID overrides DefaultPID when non-nil.
+	PID *pid.Config
+	// Priorities maps domain name ("cpu", "gpu", "sha") to a software
+	// priority value; unlisted domains stay at 1.0 (§5.3).
+	Priorities map[string]float64
+	// Work pools. Zero values mean "run forever" — use SizeWork to fill
+	// them against the fixed-voltage baseline.
+	CPUWork, GPUWork, AccelWorkGB float64
+	// TrackComponents enables per-component trace recording.
+	TrackComponents bool
+	// AdversarialAccel swaps the accelerator's pass-through local
+	// controller for the §3.3.3 adversarial one.
+	AdversarialAccel bool
+	// Supervisor attaches a software-timescale controller (priority
+	// register writer): a swctl policy or the centralized allocator.
+	Supervisor sched.Supervisor
+	// ForceLocalControl enables level-3 controllers even under a
+	// fixed-voltage rail (used by the centralized-allocator comparison,
+	// which pins the rail but keeps per-unit control).
+	ForceLocalControl bool
+	// DisableLocalControl removes level-3 controllers from a dynamic
+	// scheme — the "CAPP design lacking a local controller" ablation.
+	DisableLocalControl bool
+	// GPUController selects the GPU local controller design
+	// ("dynamic-ipc" default, "dynamic-occupancy" for the GPU-CAPP
+	// dynamic-warp alternative).
+	GPUController string
+	// EnableThermal attaches default thermal nodes to the CPU and GPU
+	// chiplets (§3.3 protection; inert at evaluation power levels).
+	EnableThermal bool
+	// VoltageMargin selects guardbanded clocking instead of adaptive
+	// clocking on the CPU and GPU chiplets (§3.5).
+	VoltageMargin float64
+}
+
+// System bundles an assembled engine with handles the experiments need.
+type System struct {
+	Engine *sched.Engine
+	CPU    *chiplet.Chiplet
+	GPU    *chiplet.Chiplet
+	Accel  *accelsim.Accel
+	Cfg    config.SystemConfig
+	Opts   BuildOptions
+}
+
+// Build assembles the full target system for one combo under one scheme.
+func Build(cfg config.SystemConfig, combo Combo, opts BuildOptions) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	dynamic := opts.Scheme.Kind != config.FixedVoltage
+	localCtl := (dynamic || opts.ForceLocalControl) && !opts.DisableLocalControl
+	var th *thermal.Config
+	if opts.EnableThermal {
+		t := thermal.DefaultChiplet()
+		th = &t
+	}
+	cpu, err := cpusim.New(cfg.CPU, cfg.LocalCPU, cpusim.Options{
+		Benchmark:     combo.CPU,
+		Seed:          cfg.Seed,
+		LocalControl:  localCtl,
+		TotalWork:     opts.CPUWork,
+		Thermal:       th,
+		VoltageMargin: opts.VoltageMargin,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gpu, err := gpusim.New(cfg.GPU, cfg.LocalEpoch, gpusim.Options{
+		Benchmark:     combo.GPU,
+		Seed:          cfg.Seed,
+		LocalControl:  localCtl,
+		TotalWork:     opts.GPUWork,
+		Controller:    opts.GPUController,
+		Thermal:       th,
+		VoltageMargin: opts.VoltageMargin,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var accLocal core.Local
+	if opts.AdversarialAccel {
+		accLocal = core.Adversarial{}
+	}
+	acc, err := accelsim.New(cfg.Accel, accelsim.Options{
+		TotalWorkGB: opts.AccelWorkGB,
+		Local:       accLocal,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mem := chiplet.NewConstant("mem", cfg.Mem.Power)
+
+	// Voltage delivery.
+	gvrCfg := cfg.GlobalVR
+	if opts.Scheme.Kind == config.FixedVoltage {
+		gvrCfg.VInit = opts.Scheme.FixedV
+	}
+	gvr, err := vr.NewRegulator(gvrCfg)
+	if err != nil {
+		return nil, err
+	}
+	sensor, err := vr.NewSensor(cfg.Sensor, cfg.TimeStep)
+	if err != nil {
+		return nil, err
+	}
+	line, err := psn.NewDelayLine(cfg.PSNDelay, cfg.TimeStep, gvrCfg.VInit)
+	if err != nil {
+		return nil, err
+	}
+
+	// Level-1 controller.
+	var global *core.Global
+	if dynamic {
+		pcfg := DefaultPIDFor(opts.Scheme, gvrCfg)
+		if opts.PID != nil {
+			pcfg = *opts.PID
+		}
+		if opts.TargetPower <= 0 {
+			return nil, fmt.Errorf("experiment: dynamic scheme %s needs a power target", opts.Scheme.Kind)
+		}
+		global, err = core.NewGlobal(core.GlobalConfig{
+			Period:      opts.Scheme.ControlPeriod,
+			TargetPower: opts.TargetPower,
+			PID:         pcfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Level-2 controllers.
+	mkDomain := func(name string, dc config.DomainConfig) (*core.Domain, error) {
+		d, err := core.NewDomain(name, dc)
+		if err != nil {
+			return nil, err
+		}
+		if p, ok := opts.Priorities[name]; ok {
+			d.SetPriority(p)
+		}
+		return d, nil
+	}
+	cpuDom, err := mkDomain("cpu", cfg.CPUDomain)
+	if err != nil {
+		return nil, err
+	}
+	gpuDom, err := mkDomain("gpu", cfg.GPUDomain)
+	if err != nil {
+		return nil, err
+	}
+	accDom, err := mkDomain("sha", cfg.AccelDomain)
+	if err != nil {
+		return nil, err
+	}
+	memDom, err := mkDomain("mem", cfg.MemDomain)
+	if err != nil {
+		return nil, err
+	}
+
+	rec, err := trace.NewRecorder(cfg.TimeStep, opts.TrackComponents)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sched.New(sched.Config{
+		DT:       cfg.TimeStep,
+		GlobalVR: gvr,
+		Sensor:   sensor,
+		PSN:      line,
+		Droop:    psn.Droop{R: cfg.DroopOhms},
+		Global:   global,
+		Slots: []sched.Slot{
+			{Domain: cpuDom, Comp: cpu},
+			{Domain: gpuDom, Comp: gpu},
+			{Domain: accDom, Comp: acc},
+			{Domain: memDom, Comp: mem},
+		},
+		Recorder:        rec,
+		TrackComponents: opts.TrackComponents,
+		Supervisor:      opts.Supervisor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{Engine: eng, CPU: cpu, GPU: gpu, Accel: acc, Cfg: cfg, Opts: opts}, nil
+}
+
+// Sizing holds the work pools that make the fixed-voltage baseline run
+// for the target duration — identical across schemes so completion-time
+// speedups are comparable.
+type Sizing struct {
+	CPUWork, GPUWork float64
+	AccelGB          float64
+}
+
+// SizeWork computes work pools for a combo from the fixed-voltage
+// operating point: steady-state instruction/throughput rates at the
+// fixed global voltage times the target duration.
+func SizeWork(cfg config.SystemConfig, combo Combo, fixedV float64, dur sim.Time) (Sizing, error) {
+	probe, err := Build(cfg, combo, BuildOptions{
+		Scheme: config.Scheme{Kind: config.FixedVoltage, FixedV: fixedV},
+	})
+	if err != nil {
+		return Sizing{}, err
+	}
+	sec := sim.Seconds(dur)
+	return Sizing{
+		CPUWork: probe.CPU.AvgIPSAt(fixedV*cfg.CPUDomain.Scale) * sec,
+		GPUWork: probe.GPU.AvgIPSAt(fixedV*cfg.GPUDomain.Scale) * sec,
+		AccelGB: probe.Accel.ThroughputAt(fixedV*cfg.AccelDomain.Scale) * sec,
+	}, nil
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"hcapp/internal/workload"
+)
+
+func TestSuiteIsTable3(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 8 {
+		t.Fatalf("suite size = %d, want 8", len(suite))
+	}
+	want := map[string][2]string{
+		"Low-Low":     {"blackscholes", "myocyte"},
+		"Low-Hi":      {"blackscholes", "backprop"},
+		"Hi-Low":      {"fluidanimate", "myocyte"},
+		"Hi-Hi":       {"fluidanimate", "backprop"},
+		"Mid-Mid":     {"swaptions", "sradv2"},
+		"Const-Burst": {"swaptions", "bfs"},
+		"Burst-Low":   {"ferret", "myocyte"},
+		"Burst-Burst": {"ferret", "bfs"},
+	}
+	seen := map[string]bool{}
+	for _, c := range suite {
+		w, ok := want[c.Name]
+		if !ok {
+			t.Errorf("unexpected combo %q", c.Name)
+			continue
+		}
+		if c.CPU.Name != w[0] || c.GPU.Name != w[1] {
+			t.Errorf("%s = %s+%s, want %s+%s", c.Name, c.CPU.Name, c.GPU.Name, w[0], w[1])
+		}
+		seen[c.Name] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("missing combos: saw %v", seen)
+	}
+}
+
+func TestSuiteFigureOrder(t *testing.T) {
+	// Figures plot combos in this alphabetical-ish order.
+	want := []string{"Burst-Burst", "Burst-Low", "Const-Burst", "Hi-Hi", "Hi-Low", "Low-Hi", "Low-Low", "Mid-Mid"}
+	for i, c := range Suite() {
+		if c.Name != want[i] {
+			t.Fatalf("suite[%d] = %s, want %s", i, c.Name, want[i])
+		}
+	}
+}
+
+func TestComboByName(t *testing.T) {
+	c, err := ComboByName("hi-hi") // case-insensitive
+	if err != nil || c.Name != "Hi-Hi" {
+		t.Fatalf("ComboByName(hi-hi) = %+v, %v", c, err)
+	}
+	// Table 3 alias: Burst-Const is the figures' Burst-Low.
+	c, err = ComboByName("Burst-Const")
+	if err != nil || c.Name != "Burst-Low" {
+		t.Fatalf("alias lookup = %+v, %v", c, err)
+	}
+	if _, err := ComboByName("Nope-Nope"); err == nil {
+		t.Fatal("unknown combo accepted")
+	}
+}
+
+func TestCombosTargetRightChiplets(t *testing.T) {
+	for _, c := range Suite() {
+		if c.CPU.On != workload.TargetCPU {
+			t.Errorf("%s: CPU slot holds %s benchmark", c.Name, c.CPU.On)
+		}
+		if c.GPU.On != workload.TargetGPU {
+			t.Errorf("%s: GPU slot holds %s benchmark", c.Name, c.GPU.On)
+		}
+	}
+}
+
+func TestTable3Render(t *testing.T) {
+	out := Table3()
+	for _, want := range []string{"Ferret", "Blackscholes", "Myocyte", "Sradv2", "Modeled", "Burst-Const"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, out)
+		}
+	}
+	// Every row lists SHA as "Modeled", as in the paper.
+	if got := strings.Count(out, "Modeled"); got != 8 {
+		t.Errorf("Modeled rows = %d, want 8", got)
+	}
+}
+
+func TestComboString(t *testing.T) {
+	c, _ := ComboByName("Hi-Hi")
+	if c.String() != "Hi-Hi" {
+		t.Fatalf("String = %q", c.String())
+	}
+}

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"testing"
+
+	"hcapp/internal/config"
+	"hcapp/internal/swctl"
+)
+
+func TestPolicyByName(t *testing.T) {
+	names := []string{"", "neutral", "static-cpu", "static-gpu", "static-sha", "progress-balancer", "critical-path"}
+	for _, n := range names {
+		if _, err := policyByName(n); err != nil {
+			t.Errorf("policyByName(%q): %v", n, err)
+		}
+	}
+	if _, err := policyByName("anarchy"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPolicyInstancesAreFresh(t *testing.T) {
+	// CriticalPath is stateful; repeated lookups must not share state.
+	a, err := policyByName("critical-path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := policyByName("critical-path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.(*swctl.CriticalPath) == b.(*swctl.CriticalPath) {
+		t.Fatal("stateful policy shared between runs")
+	}
+}
+
+func TestBuildSupervisor(t *testing.T) {
+	if sup, err := buildSupervisor(""); err != nil || sup != nil {
+		t.Fatalf("empty policy: %v, %v", sup, err)
+	}
+	if sup, err := buildSupervisor("neutral"); err != nil || sup != nil {
+		t.Fatalf("neutral policy should yield no supervisor: %v, %v", sup, err)
+	}
+	sup, err := buildSupervisor("progress-balancer")
+	if err != nil || sup == nil {
+		t.Fatalf("balancer: %v, %v", sup, err)
+	}
+	if sup.Period() != SoftwarePolicyPeriod {
+		t.Fatalf("period %d", sup.Period())
+	}
+	if _, err := buildSupervisor("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestSoftwarePolicies(t *testing.T) {
+	ps := SoftwarePolicies()
+	if len(ps) < 4 {
+		t.Fatalf("policy set too small: %d", len(ps))
+	}
+}
+
+func TestPolicyRunDiffersFromBase(t *testing.T) {
+	ev := shortEvaluator()
+	combo := mustCombo2(t, "Mid-Mid")
+	hc := mustScheme2(t, config.HCAPP)
+	limit := config.PackagePinLimit()
+	base, err := ev.Run(RunSpec{Combo: combo, Scheme: hc, Limit: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := ev.Run(RunSpec{Combo: combo, Scheme: hc, Limit: limit, Policy: "progress-balancer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Spec.key() == pol.Spec.key() {
+		t.Fatal("policy missing from cache key")
+	}
+	if pol.Violated {
+		t.Fatal("software policy broke the power limit")
+	}
+}
+
+func TestRunCentralized(t *testing.T) {
+	ev := shortEvaluator()
+	combo := mustCombo2(t, "Mid-Mid")
+	limit := config.PackagePinLimit()
+	r, err := ev.RunCentralized(combo, limit, CentralizedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgPower <= 0 {
+		t.Fatal("no power recorded")
+	}
+	for _, c := range []string{"cpu", "gpu", "sha"} {
+		if _, ok := r.Completion[c]; !ok {
+			t.Errorf("completion missing for %s", c)
+		}
+	}
+}
+
+func TestExtensionCentralizedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite extension in -short mode")
+	}
+	ev := shortEvaluator()
+	m, err := ev.ExtensionCentralized(config.PackagePinLimit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §2 claim quantified: the centralized allocator cannot protect
+	// the 20 µs window the way HCAPP can.
+	h := m.RowMax("HCAPP")
+	c := m.RowMax("Centralized")
+	if h > 1.0 {
+		t.Errorf("HCAPP violated: %g", h)
+	}
+	if c <= h {
+		t.Errorf("centralized max %g not above HCAPP %g", c, h)
+	}
+}
+
+func TestExtensionSoftwarePoliciesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite extension in -short mode")
+	}
+	ev := shortEvaluator()
+	m, err := ev.ExtensionSoftwarePolicies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The balancing policies must shorten the package makespan on the
+	// imbalanced scenario (they shift power to the straggler during the
+	// joint phase instead of waiting for the tail).
+	if got := m.RowAvg("progress-balancer"); got <= 1.0 {
+		t.Errorf("progress balancer makespan speedup = %g", got)
+	}
+	if got := m.RowAvg("critical-path"); got <= 1.0 {
+		t.Errorf("critical path makespan speedup = %g", got)
+	}
+}

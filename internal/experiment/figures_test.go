@@ -1,0 +1,220 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"hcapp/internal/config"
+	"hcapp/internal/sim"
+)
+
+func TestFig1NormalizedTrace(t *testing.T) {
+	ev := shortEvaluator()
+	combo := mustCombo2(t, "Burst-Burst")
+	pts, avg, err := ev.Fig1(combo, 50*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg <= 0 {
+		t.Fatalf("avg power %g", avg)
+	}
+	if len(pts) < 10 {
+		t.Fatalf("trace too short: %d points", len(pts))
+	}
+	// Normalized to the average: mean ≈ 1, and a bursty static trace
+	// must swing well above and below it (Fig. 1 shows 0.6–1.8).
+	sum, lo, hi := 0.0, pts[0].P, pts[0].P
+	for _, p := range pts {
+		sum += p.P
+		if p.P < lo {
+			lo = p.P
+		}
+		if p.P > hi {
+			hi = p.P
+		}
+	}
+	mean := sum / float64(len(pts))
+	if mean < 0.95 || mean > 1.05 {
+		t.Fatalf("normalized mean = %g, want ≈1", mean)
+	}
+	if hi < 1.2 {
+		t.Fatalf("peak %g: static bursty trace should exceed 1.2× average", hi)
+	}
+	if lo > 0.95 {
+		t.Fatalf("floor %g: static bursty trace should dip below average", lo)
+	}
+}
+
+func TestFig2WindowsFlattenPeaks(t *testing.T) {
+	ev := shortEvaluator()
+	combo := mustCombo2(t, "Burst-Burst")
+	windows := []sim.Time{20 * sim.Microsecond, 1 * sim.Millisecond}
+	series, _, err := ev.Fig2(combo, windows, 20*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := func(w sim.Time) float64 {
+		m := 0.0
+		for _, p := range series[w] {
+			if p.P > m {
+				m = p.P
+			}
+		}
+		return m
+	}
+	p20 := peak(20 * sim.Microsecond)
+	p1ms := peak(1 * sim.Millisecond)
+	// "The power peaks seen at the 20µs time window are not visible at
+	// the other time windows" (Fig. 2 caption).
+	if p20 <= p1ms {
+		t.Fatalf("20µs peak %g not above 1ms peak %g", p20, p1ms)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite figure in -short mode")
+	}
+	// SW-like acts once per 10 ms, so the horizon must exceed its period
+	// for its violations to appear.
+	ev := NewEvaluator().WithTargetDur(12 * sim.Millisecond)
+	m, err := ev.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline claim of §5.1: fixed voltage and HCAPP stay at or
+	// below the limit; RAPL-like and SW-like exceed it.
+	if got := m.RowMax("Fixed Voltage"); got > 1.0 {
+		t.Errorf("fixed voltage violated the fast limit: %g", got)
+	}
+	if got := m.RowMax("HCAPP"); got > 1.0 {
+		t.Errorf("HCAPP violated the fast limit: %g", got)
+	}
+	if got := m.RowMax("RAPL-like HCAPP"); got <= 1.0 {
+		t.Errorf("RAPL-like did not violate the fast limit: %g", got)
+	}
+	if got := m.RowMax("SW-like HCAPP"); got <= 1.0 {
+		t.Errorf("SW-like did not violate the fast limit: %g", got)
+	}
+}
+
+func TestFig5And6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite figure in -short mode")
+	}
+	ev := shortEvaluator()
+	speed, err := ev.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := speed.RowAvg("HCAPP"); got <= 1.0 {
+		t.Errorf("HCAPP average speedup = %g, want > 1 (paper: 1.21)", got)
+	}
+	if got := speed.RowAvg("Fixed Voltage"); got != 1.0 {
+		t.Errorf("fixed self-speedup = %g", got)
+	}
+	ppe, err := ev.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := ppe.RowAvg("Fixed Voltage")
+	hc := ppe.RowAvg("HCAPP")
+	if hc <= fixed {
+		t.Errorf("HCAPP PPE %g not above fixed %g (paper: 79.3%% vs 69.1%%)", hc, fixed)
+	}
+}
+
+func TestFig8And9Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite figure in -short mode")
+	}
+	// Use a longer horizon so the SW-like controller acts at least once.
+	ev := NewEvaluator().WithTargetDur(12 * sim.Millisecond)
+	speed, err := ev.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := speed.RowAvg("HCAPP")
+	r := speed.RowAvg("RAPL-like HCAPP")
+	s := speed.RowAvg("SW-like HCAPP")
+	if !(h > r && r > s) {
+		t.Errorf("speedup ordering broken: HCAPP %g, RAPL %g, SW %g (paper: 1.43 > 1.36 > ~1)", h, r, s)
+	}
+	ppe, err := ev.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := ppe.RowAvg("HCAPP")
+	rp := ppe.RowAvg("RAPL-like HCAPP")
+	sp := ppe.RowAvg("SW-like HCAPP")
+	if !(hp > rp && rp > sp) {
+		t.Errorf("PPE ordering broken: %g, %g, %g (paper: 93.9 > 79.7 > 69.2)", hp, rp, sp)
+	}
+}
+
+func TestFig10PriorityHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite figure in -short mode")
+	}
+	ev := shortEvaluator()
+	m, err := ev.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []string{"CPU", "GPU", "SHA"} {
+		if got := m.RowAvg(row); got <= 1.0 {
+			t.Errorf("%s priority average speedup = %g, want > 1", row, got)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := Table1()
+	if !strings.Contains(out, "147-617") {
+		t.Fatalf("Table 1 missing total:\n%s", out)
+	}
+	if !Table1Feasible() {
+		t.Fatal("Table 1 budget must fit the 1 µs period")
+	}
+}
+
+func TestRunScalingValidation(t *testing.T) {
+	sc := DefaultScalingConfig()
+	sc.ChipletCounts = []int{0}
+	if _, err := RunScaling(config.Default(), sc); err == nil {
+		t.Fatal("zero chiplet count accepted")
+	}
+}
+
+func TestRunScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep in -short mode")
+	}
+	sc := DefaultScalingConfig()
+	sc.ChipletCounts = []int{1, 4}
+	sc.Dur = 1 * sim.Millisecond
+	res, err := RunScaling(config.Default(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		// HCAPP's period is size-independent; the centralized period
+		// grows with node count.
+		if p.HCAPPPeriod != sim.Microsecond {
+			t.Errorf("HCAPP period at n=%d: %d", p.Triples, p.HCAPPPeriod)
+		}
+		if p.HCAPPMax > 1.05 {
+			t.Errorf("HCAPP violated at n=%d: %g", p.Triples, p.HCAPPMax)
+		}
+	}
+	if res.Points[1].CentralPeriod <= res.Points[0].CentralPeriod {
+		t.Error("centralized period did not grow with scale")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "triples") {
+		t.Errorf("render missing header:\n%s", out)
+	}
+}

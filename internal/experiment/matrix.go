@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hcapp/internal/stats"
+)
+
+// Matrix is a figure's data: one value per (series, combo), plus a
+// suite average column — the shape of Figs. 4–10.
+type Matrix struct {
+	Title string
+	// Unit annotates the values ("× limit", "speedup", "PPE").
+	Unit   string
+	Rows   []string // series (scheme or prioritized component) order
+	Cols   []string // combo order
+	values map[string]map[string]float64
+}
+
+// NewMatrix creates a matrix with fixed row/column order.
+func NewMatrix(title, unit string, rows, cols []string) *Matrix {
+	return &Matrix{
+		Title:  title,
+		Unit:   unit,
+		Rows:   append([]string(nil), rows...),
+		Cols:   append([]string(nil), cols...),
+		values: make(map[string]map[string]float64),
+	}
+}
+
+// Set stores a value.
+func (m *Matrix) Set(row, col string, v float64) {
+	if m.values[row] == nil {
+		m.values[row] = make(map[string]float64)
+	}
+	m.values[row][col] = v
+}
+
+// Get returns a value and whether it was set.
+func (m *Matrix) Get(row, col string) (float64, bool) {
+	v, ok := m.values[row][col]
+	return v, ok
+}
+
+// RowAvg returns the arithmetic mean across the row's set values.
+func (m *Matrix) RowAvg(row string) float64 {
+	var vals []float64
+	for _, c := range m.Cols {
+		if v, ok := m.values[row][c]; ok {
+			vals = append(vals, v)
+		}
+	}
+	return stats.Mean(vals...)
+}
+
+// RowMax returns the maximum across the row's set values.
+func (m *Matrix) RowMax(row string) float64 {
+	var vals []float64
+	for _, c := range m.Cols {
+		if v, ok := m.values[row][c]; ok {
+			vals = append(vals, v)
+		}
+	}
+	return stats.Max(vals...)
+}
+
+// Render formats the matrix as an aligned text table with an Ave.
+// column, the textual equivalent of the paper's bar charts.
+func (m *Matrix) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s", m.Title)
+	if m.Unit != "" {
+		fmt.Fprintf(&sb, " (%s)", m.Unit)
+	}
+	sb.WriteString("\n")
+
+	rowW := 10
+	for _, r := range m.Rows {
+		if len(r) > rowW {
+			rowW = len(r)
+		}
+	}
+	colW := 12
+	fmt.Fprintf(&sb, "%-*s", rowW+2, "")
+	for _, c := range m.Cols {
+		fmt.Fprintf(&sb, "%*s", colW, c)
+	}
+	fmt.Fprintf(&sb, "%*s\n", colW, "Ave.")
+	for _, r := range m.Rows {
+		fmt.Fprintf(&sb, "%-*s", rowW+2, r)
+		for _, c := range m.Cols {
+			if v, ok := m.values[r][c]; ok {
+				fmt.Fprintf(&sb, "%*.3f", colW, v)
+			} else {
+				fmt.Fprintf(&sb, "%*s", colW, "-")
+			}
+		}
+		fmt.Fprintf(&sb, "%*.3f\n", colW, m.RowAvg(r))
+	}
+	return sb.String()
+}
+
+// SortedRows returns row names sorted alphabetically (for deterministic
+// auxiliary output).
+func (m *Matrix) SortedRows() []string {
+	out := append([]string(nil), m.Rows...)
+	sort.Strings(out)
+	return out
+}

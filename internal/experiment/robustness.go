@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"hcapp/internal/config"
+	"hcapp/internal/sim"
+	"hcapp/internal/vr"
+)
+
+// Robustness characterization: what happens to a power-capping system
+// when its inputs lie. A controller is only as trustworthy as its
+// sensor, so a credible release must state the failure modes, not just
+// the happy path.
+
+// FaultScenario is one sensor-defect case.
+type FaultScenario struct {
+	Name  string
+	Fault vr.Fault
+}
+
+// DefaultFaultScenarios returns the characterized defect set.
+func DefaultFaultScenarios() []FaultScenario {
+	return []FaultScenario{
+		{Name: "healthy", Fault: vr.Fault{}},
+		{Name: "optimistic -10%", Fault: vr.Fault{Gain: 0.90}},
+		{Name: "optimistic -25%", Fault: vr.Fault{Gain: 0.75}},
+		{Name: "pessimistic +10%", Fault: vr.Fault{Gain: 1.10}},
+		{Name: "stuck at target", Fault: vr.Fault{StuckAt: 0, StuckEnabled: true}}, // StuckAt set per run
+	}
+}
+
+// FaultResult is one scenario's outcome.
+type FaultResult struct {
+	Scenario FaultScenario
+	// MaxOverLimit is the true max window power over the limit.
+	MaxOverLimit float64
+	Violated     bool
+	PPE          float64
+}
+
+// RunFaultInjection runs one combo under HCAPP at the fast limit with
+// each sensor defect and reports the true (fault-free) power metrics.
+func (ev *Evaluator) RunFaultInjection(combo Combo) ([]FaultResult, error) {
+	limit := config.PackagePinLimit()
+	hcapp, err := config.SchemeByKind(config.HCAPP)
+	if err != nil {
+		return nil, err
+	}
+	sizing, err := ev.sizingFor(combo)
+	if err != nil {
+		return nil, err
+	}
+	target := TargetPowerFor(limit)
+
+	var out []FaultResult
+	for _, sc := range DefaultFaultScenarios() {
+		fault := sc.Fault
+		if fault.StuckEnabled && fault.StuckAt == 0 {
+			// "Stuck at target": the worst plausible silent failure —
+			// the controller believes it is exactly on target forever.
+			fault.StuckAt = target
+		}
+		sys, err := Build(ev.Cfg, combo, BuildOptions{
+			Scheme:      hcapp,
+			TargetPower: target,
+			CPUWork:     sizing.CPUWork,
+			GPUWork:     sizing.GPUWork,
+			AccelWorkGB: sizing.AccelGB,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys.Engine.Sensor().InjectFault(fault)
+		sys.Engine.Run(sim.Time(float64(ev.TargetDur) * ev.MaxDurFactor))
+		rec := sys.Engine.Recorder()
+		maxOver := rec.MaxWindowAvg(limit.Window) / limit.Watts
+		out = append(out, FaultResult{
+			Scenario:     sc,
+			MaxOverLimit: maxOver,
+			Violated:     maxOver > 1,
+			PPE:          rec.PPE(limit.Watts),
+		})
+	}
+	return out, nil
+}
+
+// RenderFaultInjection formats the characterization.
+func RenderFaultInjection(combo Combo, results []FaultResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sensor fault injection (%s, HCAPP, package-pin limit)\n", combo.Name)
+	fmt.Fprintf(&sb, "%-18s %12s %10s %8s\n", "scenario", "max/limit", "violated", "PPE")
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-18s %12.3f %10v %8.3f\n",
+			r.Scenario.Name, r.MaxOverLimit, r.Violated, r.PPE)
+	}
+	return sb.String()
+}
+
+// AblationVREfficiency quantifies the sensitivity of the headline
+// metrics to global-VR conversion losses, which the paper (and the
+// default configuration) treats as lossless: the loss eats guardband,
+// so an integrator deploying a real 90 %-efficient regulator must
+// re-derive the power target.
+func (ev *Evaluator) AblationVREfficiency() (*Matrix, error) {
+	limit := config.PackagePinLimit()
+	hcapp, err := config.SchemeByKind(config.HCAPP)
+	if err != nil {
+		return nil, err
+	}
+	effs := []struct {
+		name string
+		eff  float64
+	}{
+		{"lossless (paper)", 0},
+		{"95% efficient", 0.95},
+		{"90% efficient", 0.90},
+	}
+	rows := make([]string, len(effs))
+	for i, e := range effs {
+		rows[i] = e.name
+	}
+	m := NewMatrix("Ablation: global VR conversion efficiency (max power / limit, 20 us limit)", "max/limit", rows, comboNames())
+
+	for _, combo := range Suite() {
+		sizing, err := ev.sizingFor(combo)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range effs {
+			cfg := ev.Cfg
+			cfg.GlobalVR.Efficiency = e.eff
+			sys, err := Build(cfg, combo, BuildOptions{
+				Scheme:      hcapp,
+				TargetPower: TargetPowerFor(limit),
+				CPUWork:     sizing.CPUWork,
+				GPUWork:     sizing.GPUWork,
+				AccelWorkGB: sizing.AccelGB,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sys.Engine.Run(sim.Time(float64(ev.TargetDur) * ev.MaxDurFactor))
+			rec := sys.Engine.Recorder()
+			m.Set(e.name, combo.Name, rec.MaxWindowAvg(limit.Window)/limit.Watts)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFaultInjection(t *testing.T) {
+	ev := shortEvaluator()
+	combo := mustCombo2(t, "Mid-Mid")
+	results, err := ev.RunFaultInjection(combo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]FaultResult{}
+	for _, r := range results {
+		byName[r.Scenario.Name] = r
+	}
+	healthy, ok := byName["healthy"]
+	if !ok {
+		t.Fatal("healthy scenario missing")
+	}
+	if healthy.Violated {
+		t.Fatalf("healthy sensor violated: %.3f", healthy.MaxOverLimit)
+	}
+	// An optimistic sensor makes the controller over-drive: true power
+	// rises above the healthy case. This is the documented failure mode.
+	if opt := byName["optimistic -25%"]; opt.MaxOverLimit <= healthy.MaxOverLimit {
+		t.Errorf("optimistic sensor did not raise true power: %.3f vs %.3f",
+			opt.MaxOverLimit, healthy.MaxOverLimit)
+	}
+	// A pessimistic sensor is safe but wasteful: no violation, lower PPE.
+	if pes := byName["pessimistic +10%"]; pes.Violated {
+		t.Errorf("pessimistic sensor violated: %.3f", pes.MaxOverLimit)
+	} else if pes.PPE >= healthy.PPE {
+		t.Errorf("pessimistic sensor did not cost PPE: %.3f vs %.3f", pes.PPE, healthy.PPE)
+	}
+	out := RenderFaultInjection(combo, results)
+	if !strings.Contains(out, "stuck at target") {
+		t.Errorf("render missing scenario:\n%s", out)
+	}
+}
+
+func TestAblationVREfficiency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite ablation in -short mode")
+	}
+	ev := shortEvaluator()
+	m, err := ev.AblationVREfficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossless := m.RowMax("lossless (paper)")
+	lossy := m.RowMax("90% efficient")
+	// Conversion losses eat guardband: the worst-case ratio must rise.
+	if lossy <= lossless {
+		t.Errorf("VR losses did not raise max/limit: %.3f vs %.3f", lossy, lossless)
+	}
+}
+
+func TestRunRetarget(t *testing.T) {
+	ev := shortEvaluator()
+	combo := mustCombo2(t, "Mid-Mid")
+	r, err := ev.RunRetarget(combo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each half must track its own target with the same PID constants —
+	// the §5.2 "no costly PID analysis" claim.
+	if math.Abs(r.FirstAvg-r.FirstTarget) > 0.12*r.FirstTarget {
+		t.Errorf("first half avg %.1f far from target %.1f", r.FirstAvg, r.FirstTarget)
+	}
+	if math.Abs(r.SecondAvg-r.SecondTarget) > 0.12*r.SecondTarget {
+		t.Errorf("second half avg %.1f far from target %.1f", r.SecondAvg, r.SecondTarget)
+	}
+	// And the second half must actually sit above the first (higher
+	// target → more power).
+	if r.SecondAvg <= r.FirstAvg {
+		t.Errorf("retarget had no effect: %.1f -> %.1f", r.FirstAvg, r.SecondAvg)
+	}
+	if !strings.Contains(r.Render(), "Dynamic retarget") {
+		t.Error("render broken")
+	}
+}

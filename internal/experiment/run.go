@@ -1,0 +1,226 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"hcapp/internal/config"
+	"hcapp/internal/sim"
+	"hcapp/internal/stats"
+)
+
+// Components whose completion time defines per-component speedup (Eq. 3).
+var speedupComponents = []string{"cpu", "gpu", "sha"}
+
+// RunSpec identifies one simulation run.
+type RunSpec struct {
+	Combo  Combo
+	Scheme config.Scheme
+	Limit  config.PowerLimit
+	// Priorities for the §5.3 software-interface runs (domain → value).
+	Priorities map[string]float64
+	// AdversarialAccel enables the §3.3.3 ablation.
+	AdversarialAccel bool
+	// Policy names a software policy supervising the run ("static-cpu",
+	// "progress-balancer", "critical-path"); empty means none.
+	Policy string
+}
+
+// key builds a cache key for the spec.
+func (s RunSpec) key() string {
+	k := fmt.Sprintf("%s|%s|%s", s.Combo.Name, s.Scheme.Kind, s.Limit.Name)
+	if s.Scheme.Kind == config.FixedVoltage {
+		k = fmt.Sprintf("%s|%s|%s|fixed=%g", s.Combo.Name, s.Scheme.Kind, s.Limit.Name, s.Scheme.FixedV)
+	}
+	if len(s.Priorities) > 0 {
+		names := make([]string, 0, len(s.Priorities))
+		for n := range s.Priorities {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			k += fmt.Sprintf("|%s=%.3f", n, s.Priorities[n])
+		}
+	}
+	if s.AdversarialAccel {
+		k += "|adversarial"
+	}
+	if s.Policy != "" {
+		k += "|policy=" + s.Policy
+	}
+	return k
+}
+
+// RunResult is the outcome of one simulation run.
+type RunResult struct {
+	Spec RunSpec
+	// MaxWindowPower is the maximum power averaged over the limit's
+	// window anywhere in the run (the Fig. 4 / Fig. 7 quantity).
+	MaxWindowPower float64
+	// MaxOverLimit is MaxWindowPower / limit — above 1.0 is a power
+	// failure.
+	MaxOverLimit float64
+	// Violated reports MaxOverLimit > 1.
+	Violated bool
+	// AvgPower is the run's mean package power.
+	AvgPower float64
+	// PPE is Eq. 4: AvgPower / provisioned (limit) power.
+	PPE float64
+	// Completion maps component name → completion time. Components that
+	// did not finish within the deadline are recorded at the deadline.
+	Completion map[string]sim.Time
+	// Completed reports whether every component finished.
+	Completed bool
+	// Duration is the simulated run length.
+	Duration sim.Time
+	// ControlCycles counts global control actions.
+	ControlCycles int64
+}
+
+// SpeedupOver returns per-component speedups of this run relative to a
+// baseline run of the same combo, plus the Eq. 3 geometric-mean total:
+// STotal = (S_CPU · S_GPU · S_Accel)^(1/3).
+func (r RunResult) SpeedupOver(base RunResult) (perComp map[string]float64, total float64) {
+	perComp = make(map[string]float64, len(speedupComponents))
+	vals := make([]float64, 0, len(speedupComponents))
+	for _, name := range speedupComponents {
+		b, okB := base.Completion[name]
+		s, okS := r.Completion[name]
+		if !okB || !okS || s <= 0 {
+			perComp[name] = 0
+			continue
+		}
+		sp := float64(b) / float64(s)
+		perComp[name] = sp
+		vals = append(vals, sp)
+	}
+	return perComp, stats.Geomean(vals...)
+}
+
+// Evaluator runs and caches simulations for one system configuration.
+type Evaluator struct {
+	Cfg config.SystemConfig
+	// TargetDur sizes the work pools (fixed-voltage run length).
+	TargetDur sim.Time
+	// MaxDurFactor bounds runs at MaxDurFactor × TargetDur.
+	MaxDurFactor float64
+	// FixedV is the fixed-voltage baseline's global voltage.
+	FixedV float64
+
+	cache  map[string]RunResult
+	sizing map[string]Sizing
+}
+
+// NewEvaluator returns an evaluator over the default target system.
+func NewEvaluator() *Evaluator {
+	return &Evaluator{
+		Cfg:          config.Default(),
+		TargetDur:    DefaultTargetDuration,
+		MaxDurFactor: 3,
+		FixedV:       0.95,
+		cache:        make(map[string]RunResult),
+		sizing:       make(map[string]Sizing),
+	}
+}
+
+// WithTargetDur shrinks or grows all runs (tests use short runs).
+func (ev *Evaluator) WithTargetDur(d sim.Time) *Evaluator {
+	ev.TargetDur = d
+	return ev
+}
+
+// sizingFor computes (and caches) the work pools for a combo.
+func (ev *Evaluator) sizingFor(combo Combo) (Sizing, error) {
+	if s, ok := ev.sizing[combo.Name]; ok {
+		return s, nil
+	}
+	s, err := SizeWork(ev.Cfg, combo, ev.FixedV, ev.TargetDur)
+	if err != nil {
+		return Sizing{}, err
+	}
+	ev.sizing[combo.Name] = s
+	return s, nil
+}
+
+// Run executes (or returns the cached result of) one spec.
+func (ev *Evaluator) Run(spec RunSpec) (RunResult, error) {
+	if ev.cache == nil {
+		ev.cache = make(map[string]RunResult)
+	}
+	if ev.sizing == nil {
+		ev.sizing = make(map[string]Sizing)
+	}
+	if r, ok := ev.cache[spec.key()]; ok {
+		return r, nil
+	}
+
+	sizing, err := ev.sizingFor(spec.Combo)
+	if err != nil {
+		return RunResult{}, err
+	}
+	sup, err := buildSupervisor(spec.Policy)
+	if err != nil {
+		return RunResult{}, err
+	}
+	opts := BuildOptions{
+		Scheme:           spec.Scheme,
+		Priorities:       spec.Priorities,
+		CPUWork:          sizing.CPUWork,
+		GPUWork:          sizing.GPUWork,
+		AccelWorkGB:      sizing.AccelGB,
+		AdversarialAccel: spec.AdversarialAccel,
+		Supervisor:       sup,
+	}
+	if spec.Scheme.Kind != config.FixedVoltage {
+		opts.TargetPower = TargetPowerFor(spec.Limit)
+	}
+	sys, err := Build(ev.Cfg, spec.Combo, opts)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	maxDur := sim.Time(float64(ev.TargetDur) * ev.MaxDurFactor)
+	res := sys.Engine.Run(maxDur)
+	rec := sys.Engine.Recorder()
+
+	out := RunResult{
+		Spec:           spec,
+		MaxWindowPower: rec.MaxWindowAvg(spec.Limit.Window),
+		AvgPower:       rec.AvgPower(),
+		Completed:      res.Completed,
+		Duration:       res.Duration,
+		ControlCycles:  res.ControlCycles,
+		Completion:     make(map[string]sim.Time, len(speedupComponents)),
+	}
+	out.MaxOverLimit = out.MaxWindowPower / spec.Limit.Watts
+	out.Violated = out.MaxOverLimit > 1
+	out.PPE = rec.PPE(spec.Limit.Watts)
+	for _, name := range speedupComponents {
+		if t, ok := res.Completion[name]; ok {
+			out.Completion[name] = t
+		} else {
+			out.Completion[name] = res.Duration
+		}
+	}
+	ev.cache[spec.key()] = out
+	return out, nil
+}
+
+// RunSuite runs every Table 3 combo under one scheme and limit.
+func (ev *Evaluator) RunSuite(scheme config.Scheme, limit config.PowerLimit) (map[string]RunResult, error) {
+	out := make(map[string]RunResult, len(Suite()))
+	for _, combo := range Suite() {
+		r, err := ev.Run(RunSpec{Combo: combo, Scheme: scheme, Limit: limit})
+		if err != nil {
+			return nil, err
+		}
+		out[combo.Name] = r
+	}
+	return out, nil
+}
+
+// FixedScheme returns the fixed-voltage baseline scheme at the
+// evaluator's voltage.
+func (ev *Evaluator) FixedScheme() config.Scheme {
+	return config.Scheme{Kind: config.FixedVoltage, FixedV: ev.FixedV}
+}

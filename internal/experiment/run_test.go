@@ -1,0 +1,271 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"hcapp/internal/config"
+	"hcapp/internal/sim"
+)
+
+// shortEvaluator returns an evaluator with runs short enough for unit
+// tests (the full evaluation uses 16 ms).
+func shortEvaluator() *Evaluator {
+	return NewEvaluator().WithTargetDur(2 * sim.Millisecond)
+}
+
+func mustCombo2(t *testing.T, name string) Combo {
+	t.Helper()
+	c, err := ComboByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSizeWorkScalesWithDuration(t *testing.T) {
+	cfg := config.Default()
+	combo := mustCombo2(t, "Mid-Mid")
+	s1, err := SizeWork(cfg, combo, 0.95, 2*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SizeWork(cfg, combo, 0.95, 4*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]float64{
+		{s1.CPUWork, s2.CPUWork},
+		{s1.GPUWork, s2.GPUWork},
+		{s1.AccelGB, s2.AccelGB},
+	} {
+		if pair[0] <= 0 {
+			t.Fatalf("non-positive work pool: %+v", s1)
+		}
+		if math.Abs(pair[1]/pair[0]-2) > 1e-9 {
+			t.Fatalf("work not proportional to duration: %g vs %g", pair[0], pair[1])
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cfg := config.Default()
+	combo := mustCombo2(t, "Mid-Mid")
+	// Dynamic scheme without a power target must fail.
+	if _, err := Build(cfg, combo, BuildOptions{Scheme: mustScheme2(t, config.HCAPP)}); err == nil {
+		t.Fatal("missing power target accepted")
+	}
+	// Corrupt config must fail.
+	bad := cfg
+	bad.TimeStep = 0
+	if _, err := Build(bad, combo, BuildOptions{Scheme: config.Scheme{Kind: config.FixedVoltage, FixedV: 0.95}}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func mustScheme2(t *testing.T, k config.SchemeKind) config.Scheme {
+	t.Helper()
+	s, err := config.SchemeByKind(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFixedVoltageRunCompletesOnSchedule(t *testing.T) {
+	ev := shortEvaluator()
+	combo := mustCombo2(t, "Mid-Mid")
+	r, err := ev.Run(RunSpec{Combo: combo, Scheme: ev.FixedScheme(), Limit: config.PackagePinLimit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed {
+		t.Fatal("fixed run did not complete")
+	}
+	// Work pools are sized for the target duration at the fixed voltage.
+	if r.Duration < ev.TargetDur*8/10 || r.Duration > ev.TargetDur*13/10 {
+		t.Fatalf("fixed run took %s, want ≈%s", sim.FormatTime(r.Duration), sim.FormatTime(ev.TargetDur))
+	}
+	for _, c := range []string{"cpu", "gpu", "sha"} {
+		if _, ok := r.Completion[c]; !ok {
+			t.Errorf("completion missing for %s", c)
+		}
+	}
+}
+
+func TestRunCaching(t *testing.T) {
+	ev := shortEvaluator()
+	combo := mustCombo2(t, "Low-Low")
+	spec := RunSpec{Combo: combo, Scheme: ev.FixedScheme(), Limit: config.PackagePinLimit()}
+	r1, err := ev.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ev.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.AvgPower != r2.AvgPower || r1.Duration != r2.Duration {
+		t.Fatal("cached run differs")
+	}
+}
+
+func TestRunKeyDistinguishesLimitsAndPriorities(t *testing.T) {
+	combo := mustCombo2(t, "Low-Low")
+	fixed := config.Scheme{Kind: config.FixedVoltage, FixedV: 0.95}
+	a := RunSpec{Combo: combo, Scheme: fixed, Limit: config.PackagePinLimit()}
+	b := RunSpec{Combo: combo, Scheme: fixed, Limit: config.OffPackageVRLimit()}
+	if a.key() == b.key() {
+		t.Fatal("different limits share a cache key")
+	}
+	c := RunSpec{Combo: combo, Scheme: fixed, Limit: config.PackagePinLimit(),
+		Priorities: map[string]float64{"cpu": 1.0, "gpu": 0.9}}
+	if a.key() == c.key() {
+		t.Fatal("priorities ignored in cache key")
+	}
+	d := c
+	d.AdversarialAccel = true
+	if c.key() == d.key() {
+		t.Fatal("adversarial flag ignored in cache key")
+	}
+}
+
+func TestHCAPPHoldsFastLimitOnSteadyCombo(t *testing.T) {
+	ev := shortEvaluator()
+	combo := mustCombo2(t, "Mid-Mid")
+	r, err := ev.Run(RunSpec{Combo: combo, Scheme: mustScheme2(t, config.HCAPP), Limit: config.PackagePinLimit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Violated {
+		t.Fatalf("HCAPP violated the fast limit: max %g", r.MaxWindowPower)
+	}
+	if r.MaxOverLimit != r.MaxWindowPower/100 {
+		t.Fatal("MaxOverLimit inconsistent")
+	}
+	if r.PPE <= 0 || r.PPE > 1.2 {
+		t.Fatalf("PPE = %g", r.PPE)
+	}
+	if r.ControlCycles <= 0 {
+		t.Fatal("no control cycles recorded")
+	}
+}
+
+func TestSpeedupOver(t *testing.T) {
+	base := RunResult{Completion: map[string]sim.Time{"cpu": 2000, "gpu": 1000, "sha": 4000}}
+	faster := RunResult{Completion: map[string]sim.Time{"cpu": 1000, "gpu": 1000, "sha": 2000}}
+	per, total := faster.SpeedupOver(base)
+	if per["cpu"] != 2 || per["gpu"] != 1 || per["sha"] != 2 {
+		t.Fatalf("per-component speedups %v", per)
+	}
+	want := math.Cbrt(2 * 1 * 2)
+	if math.Abs(total-want) > 1e-12 {
+		t.Fatalf("Eq. 3 total = %g, want %g", total, want)
+	}
+}
+
+func TestSpeedupOverMissingComponent(t *testing.T) {
+	base := RunResult{Completion: map[string]sim.Time{"cpu": 2000}}
+	r := RunResult{Completion: map[string]sim.Time{"cpu": 1000}}
+	per, total := r.SpeedupOver(base)
+	if per["cpu"] != 2 {
+		t.Fatalf("cpu speedup %g", per["cpu"])
+	}
+	if per["gpu"] != 0 || per["sha"] != 0 {
+		t.Fatal("missing components should report 0")
+	}
+	if math.Abs(total-2) > 1e-12 {
+		t.Fatalf("total over present components = %g", total)
+	}
+}
+
+func TestPriorityFor(t *testing.T) {
+	p := PriorityFor("gpu")
+	if p["gpu"] != 1.0 || p["cpu"] != 0.9 || p["sha"] != 0.9 {
+		t.Fatalf("PriorityFor(gpu) = %v", p)
+	}
+}
+
+func TestTargetPowerFor(t *testing.T) {
+	fast := TargetPowerFor(config.PackagePinLimit())
+	slow := TargetPowerFor(config.OffPackageVRLimit())
+	if fast >= slow {
+		t.Fatalf("fast-window target %g must carry a larger guardband than slow %g", fast, slow)
+	}
+	if fast >= 100 || slow >= 100 {
+		t.Fatal("targets must sit below the limit (guardband)")
+	}
+}
+
+func TestDefaultPIDFor(t *testing.T) {
+	gvr := config.Default().GlobalVR
+	h := DefaultPIDFor(mustScheme2(t, config.HCAPP), gvr)
+	r := DefaultPIDFor(mustScheme2(t, config.RAPLLike), gvr)
+	s := DefaultPIDFor(mustScheme2(t, config.SWLike), gvr)
+	if !(h.KI > r.KI && r.KI > s.KI) {
+		t.Fatalf("KI must shrink with period: %g, %g, %g", h.KI, r.KI, s.KI)
+	}
+	if h.OutMin != gvr.VMin || h.OutMax != gvr.VMax {
+		t.Fatal("PID clamps must match the VR range")
+	}
+	for _, cfg := range []struct {
+		name string
+		c    interface{ Validate() error }
+	}{{"hcapp", h}, {"rapl", r}, {"sw", s}} {
+		if err := cfg.c.Validate(); err != nil {
+			t.Errorf("%s PID invalid: %v", cfg.name, err)
+		}
+	}
+}
+
+func TestPriorityRunSpeedsUpComponent(t *testing.T) {
+	ev := shortEvaluator()
+	combo := mustCombo2(t, "Mid-Mid")
+	hc := mustScheme2(t, config.HCAPP)
+	limit := config.PackagePinLimit()
+	base, err := ev.Run(RunSpec{Combo: combo, Scheme: hc, Limit: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio, err := ev.Run(RunSpec{Combo: combo, Scheme: hc, Limit: limit, Priorities: PriorityFor("cpu")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, _ := prio.SpeedupOver(base)
+	if per["cpu"] <= 1.0 {
+		t.Fatalf("prioritized CPU speedup = %g, want > 1", per["cpu"])
+	}
+}
+
+func TestAdversarialAccelStaysUnderLimit(t *testing.T) {
+	ev := shortEvaluator()
+	combo := mustCombo2(t, "Hi-Hi")
+	r, err := ev.Run(RunSpec{
+		Combo: combo, Scheme: mustScheme2(t, config.HCAPP),
+		Limit: config.PackagePinLimit(), AdversarialAccel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Violated {
+		t.Fatalf("adversarial local controller broke the power limit: %g", r.MaxWindowPower)
+	}
+}
+
+func TestEvaluatorDeterminism(t *testing.T) {
+	run := func() RunResult {
+		ev := shortEvaluator()
+		r, err := ev.Run(RunSpec{
+			Combo: mustCombo2(t, "Burst-Burst"), Scheme: mustScheme2(t, config.HCAPP),
+			Limit: config.PackagePinLimit(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.AvgPower != b.AvgPower || a.MaxWindowPower != b.MaxWindowPower || a.Duration != b.Duration {
+		t.Fatalf("evaluator runs diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"hcapp/internal/config"
+	"hcapp/internal/sim"
+	"hcapp/internal/stats"
+)
+
+// SeedSweep quantifies how robust the headline results are to the
+// workload generator's randomness: the whole suite re-runs under each
+// seed and the per-seed suite averages are summarized. The paper
+// reports single numbers; a credible reproduction should show they are
+// not seed artifacts.
+type SeedSweep struct {
+	Seeds []int64
+	Limit config.PowerLimit
+	// Per-seed suite averages.
+	FixedPPE, HCAPPPPE, HCAPPSpeedup []float64
+	// Violations counts seeds where HCAPP exceeded the limit anywhere
+	// in the suite (must stay 0).
+	Violations int
+}
+
+// RunSeedSweep executes the sweep at the given horizon.
+func RunSeedSweep(seeds []int64, limit config.PowerLimit, dur sim.Time) (*SeedSweep, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: no seeds")
+	}
+	out := &SeedSweep{Seeds: append([]int64(nil), seeds...), Limit: limit}
+	hcapp, err := config.SchemeByKind(config.HCAPP)
+	if err != nil {
+		return nil, err
+	}
+	for _, seed := range seeds {
+		ev := NewEvaluator().WithTargetDur(dur)
+		ev.Cfg.Seed = seed
+		var fixedPPE, hcPPE, hcSp []float64
+		violated := false
+		for _, combo := range Suite() {
+			base, err := ev.Run(RunSpec{Combo: combo, Scheme: ev.FixedScheme(), Limit: limit})
+			if err != nil {
+				return nil, err
+			}
+			r, err := ev.Run(RunSpec{Combo: combo, Scheme: hcapp, Limit: limit})
+			if err != nil {
+				return nil, err
+			}
+			fixedPPE = append(fixedPPE, base.PPE)
+			hcPPE = append(hcPPE, r.PPE)
+			_, sp := r.SpeedupOver(base)
+			hcSp = append(hcSp, sp)
+			if r.Violated {
+				violated = true
+			}
+		}
+		out.FixedPPE = append(out.FixedPPE, stats.Mean(fixedPPE...))
+		out.HCAPPPPE = append(out.HCAPPPPE, stats.Mean(hcPPE...))
+		out.HCAPPSpeedup = append(out.HCAPPSpeedup, stats.Mean(hcSp...))
+		if violated {
+			out.Violations++
+		}
+	}
+	return out, nil
+}
+
+// Render formats the sweep summary.
+func (s *SeedSweep) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Seed robustness sweep (%d seeds, %s limit)\n", len(s.Seeds), s.Limit.Name)
+	row := func(name string, xs []float64) {
+		sum := stats.Summarize(xs)
+		fmt.Fprintf(&sb, "%-16s mean=%.3f stddev=%.3f min=%.3f max=%.3f\n",
+			name, sum.Mean, sum.Stddev, sum.Min, sum.Max)
+	}
+	row("fixed PPE", s.FixedPPE)
+	row("hcapp PPE", s.HCAPPPPE)
+	row("hcapp speedup", s.HCAPPSpeedup)
+	fmt.Fprintf(&sb, "seeds with an HCAPP violation: %d (must be 0)\n", s.Violations)
+	return sb.String()
+}

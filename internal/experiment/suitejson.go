@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hcapp/internal/workload"
+)
+
+// ComboSpecJSON is the external description of one benchmark
+// combination, so downstream users can evaluate their own suites:
+//
+//	[{"name": "Mine-Hi", "cpu": "streamkernel", "gpu": "backprop"}]
+//
+// Benchmark names resolve against the built-in registry first, then
+// against the supplied custom benchmarks.
+type ComboSpecJSON struct {
+	Name string `json:"name"`
+	CPU  string `json:"cpu"`
+	GPU  string `json:"gpu"`
+}
+
+// ParseSuite reads a JSON array of combo specs. custom supplies
+// additional benchmarks (from workload.ParseBenchmarks); it may be nil.
+func ParseSuite(r io.Reader, custom []workload.Benchmark) ([]Combo, error) {
+	var specs []ComboSpecJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&specs); err != nil {
+		return nil, fmt.Errorf("experiment: parse suite: %w", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("experiment: empty suite")
+	}
+	byName := make(map[string]workload.Benchmark, len(custom))
+	for _, b := range custom {
+		byName[b.Name] = b
+	}
+	resolve := func(name string, want workload.Target) (workload.Benchmark, error) {
+		if b, err := workload.ByName(name); err == nil {
+			if b.On != want {
+				return workload.Benchmark{}, fmt.Errorf("experiment: %q targets %s, want %s", name, b.On, want)
+			}
+			return b, nil
+		}
+		if b, ok := byName[name]; ok {
+			if b.On != want {
+				return workload.Benchmark{}, fmt.Errorf("experiment: %q targets %s, want %s", name, b.On, want)
+			}
+			return b, nil
+		}
+		return workload.Benchmark{}, fmt.Errorf("experiment: unknown benchmark %q", name)
+	}
+
+	seen := map[string]bool{}
+	out := make([]Combo, 0, len(specs))
+	for _, sp := range specs {
+		if sp.Name == "" {
+			return nil, fmt.Errorf("experiment: combo missing name")
+		}
+		if seen[sp.Name] {
+			return nil, fmt.Errorf("experiment: duplicate combo %q", sp.Name)
+		}
+		cpu, err := resolve(sp.CPU, workload.TargetCPU)
+		if err != nil {
+			return nil, fmt.Errorf("%w (combo %q)", err, sp.Name)
+		}
+		gpu, err := resolve(sp.GPU, workload.TargetGPU)
+		if err != nil {
+			return nil, fmt.Errorf("%w (combo %q)", err, sp.Name)
+		}
+		seen[sp.Name] = true
+		out = append(out, Combo{Name: sp.Name, CPU: cpu, GPU: gpu})
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"hcapp/internal/config"
+	"hcapp/internal/workload"
+)
+
+func TestParseSuite(t *testing.T) {
+	in := `[
+		{"name": "A", "cpu": "swaptions", "gpu": "backprop"},
+		{"name": "B", "cpu": "ferret", "gpu": "myocyte"}
+	]`
+	combos, err := ParseSuite(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 2 {
+		t.Fatalf("combos = %d", len(combos))
+	}
+	if combos[0].CPU.Name != "swaptions" || combos[1].GPU.Name != "myocyte" {
+		t.Fatalf("resolution broken: %+v", combos)
+	}
+}
+
+func TestParseSuiteWithCustomBenchmarks(t *testing.T) {
+	specs := `[{"name":"mycpu","target":"cpu","class":"Mid","kind":"constant",
+		"phase_dur_us":100,"ipc":1.2,"mem_frac":0.2,"activity":0.5,"stall_act":0.1}]`
+	custom, err := workload.ParseBenchmarks(strings.NewReader(specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	combos, err := ParseSuite(strings.NewReader(`[{"name":"X","cpu":"mycpu","gpu":"bfs"}]`), custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combos[0].CPU.Suite != "custom" {
+		t.Fatalf("custom benchmark not resolved: %+v", combos[0].CPU)
+	}
+	// And the combo must actually run.
+	ev := shortEvaluator()
+	r, err := ev.Run(RunSpec{Combo: combos[0], Scheme: ev.FixedScheme(), Limit: config.PackagePinLimit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed {
+		t.Fatal("custom combo did not complete")
+	}
+}
+
+func TestParseSuiteErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad json", `{`},
+		{"empty", `[]`},
+		{"unknown field", `[{"name":"x","cpu":"ferret","gpu":"bfs","sha":"y"}]`},
+		{"missing name", `[{"cpu":"ferret","gpu":"bfs"}]`},
+		{"duplicate", `[{"name":"x","cpu":"ferret","gpu":"bfs"},{"name":"x","cpu":"ferret","gpu":"bfs"}]`},
+		{"unknown cpu", `[{"name":"x","cpu":"doom","gpu":"bfs"}]`},
+		{"wrong target", `[{"name":"x","cpu":"bfs","gpu":"ferret"}]`},
+	}
+	for _, c := range cases {
+		if _, err := ParseSuite(strings.NewReader(c.in), nil); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package experiment
+
+import (
+	"hcapp/internal/psn"
+)
+
+// table1Render returns the rendered Table 1 budget.
+func table1Render() string {
+	return psn.Table1().Render()
+}
+
+// Table1Feasible reports whether the configured round-trip delay budget
+// fits inside the HCAPP control period — the paper's justification for
+// choosing 1 µs.
+func Table1Feasible() bool {
+	return psn.Table1().Feasible()
+}

@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"hcapp/internal/config"
+	"hcapp/internal/sim"
+	"hcapp/internal/workload"
+)
+
+func mustBench3(t *testing.T, name string) workload.Benchmark {
+	t.Helper()
+	b, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func twoCPUTopology(t *testing.T) Topology {
+	t.Helper()
+	return Topology{Chiplets: []ChipletSpec{
+		{Kind: "cpu", Name: "cpu0", Benchmark: mustBench3(t, "swaptions")},
+		{Kind: "cpu", Name: "cpu1", Benchmark: mustBench3(t, "blackscholes"), Seed: 99},
+		{Kind: "gpu", Benchmark: mustBench3(t, "backprop")},
+		{Kind: "sha"},
+		{Kind: "mem", Watts: 12},
+	}}
+}
+
+func TestBuildTopologyRuns(t *testing.T) {
+	cfg := config.Default()
+	eng, err := BuildTopology(cfg, twoCPUTopology(t), TopologyOptions{
+		Scheme:      config.Scheme{Kind: config.HCAPP, ControlPeriod: sim.Microsecond},
+		TargetPower: 130,
+		SizingDur:   1 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run(5 * sim.Millisecond)
+	if !res.Completed {
+		t.Fatal("custom topology did not complete")
+	}
+	for _, name := range []string{"cpu0", "cpu1", "gpu", "sha"} {
+		if _, ok := res.Completion[name]; !ok {
+			t.Errorf("completion missing for %s", name)
+		}
+	}
+	if eng.Recorder().AvgPower() <= 0 {
+		t.Fatal("no power recorded")
+	}
+	// Both CPU domains must exist independently.
+	if eng.Domain("cpu0") == nil || eng.Domain("cpu1") == nil {
+		t.Fatal("named domains missing")
+	}
+}
+
+func TestBuildTopologyFixedScheme(t *testing.T) {
+	cfg := config.Default()
+	eng, err := BuildTopology(cfg, Topology{Chiplets: []ChipletSpec{
+		{Kind: "cpu", Benchmark: mustBench3(t, "swaptions")},
+	}}, TopologyOptions{
+		Scheme:    config.Scheme{Kind: config.FixedVoltage, FixedV: 0.95},
+		SizingDur: 500 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run(5 * sim.Millisecond)
+	if !res.Completed {
+		t.Fatal("fixed topology did not complete")
+	}
+}
+
+func TestBuildTopologyErrors(t *testing.T) {
+	cfg := config.Default()
+	cases := []struct {
+		name string
+		topo Topology
+		opts TopologyOptions
+	}{
+		{"empty", Topology{}, TopologyOptions{Scheme: config.Scheme{Kind: config.FixedVoltage, FixedV: 0.95}}},
+		{"unknown kind", Topology{Chiplets: []ChipletSpec{{Kind: "fpga"}}},
+			TopologyOptions{Scheme: config.Scheme{Kind: config.FixedVoltage, FixedV: 0.95}}},
+		{"duplicate name", Topology{Chiplets: []ChipletSpec{{Kind: "sha"}, {Kind: "sha"}}},
+			TopologyOptions{Scheme: config.Scheme{Kind: config.FixedVoltage, FixedV: 0.95}}},
+		{"no target", Topology{Chiplets: []ChipletSpec{{Kind: "sha"}}},
+			TopologyOptions{Scheme: config.Scheme{Kind: config.HCAPP, ControlPeriod: sim.Microsecond}}},
+		{"no fixed voltage", Topology{Chiplets: []ChipletSpec{{Kind: "sha"}}},
+			TopologyOptions{Scheme: config.Scheme{Kind: config.FixedVoltage}}},
+		{"wrong benchmark target", Topology{Chiplets: []ChipletSpec{{Kind: "gpu", Benchmark: func() workload.Benchmark {
+			b, _ := workload.ByName("ferret")
+			return b
+		}()}}}, TopologyOptions{Scheme: config.Scheme{Kind: config.FixedVoltage, FixedV: 0.95}}},
+	}
+	for _, c := range cases {
+		if _, err := BuildTopology(cfg, c.topo, c.opts); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestBuildTopologyWithCustomBenchmark(t *testing.T) {
+	specs := `[{"name":"housekernel","target":"cpu","class":"Mid","kind":"constant",
+		"phase_dur_us":100,"ipc":1.2,"mem_frac":0.2,"activity":0.5,"stall_act":0.1}]`
+	bs, err := workload.ParseBenchmarks(strings.NewReader(specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	eng, err := BuildTopology(cfg, Topology{Chiplets: []ChipletSpec{
+		{Kind: "cpu", Benchmark: bs[0]},
+	}}, TopologyOptions{
+		Scheme:      config.Scheme{Kind: config.HCAPP, ControlPeriod: sim.Microsecond},
+		TargetPower: 60,
+		SizingDur:   500 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run(5 * sim.Millisecond)
+	if !res.Completed {
+		t.Fatal("custom benchmark topology did not complete")
+	}
+}
+
+func TestBuildTopologyWorkScale(t *testing.T) {
+	cfg := config.Default()
+	mk := func(scale float64) sim.Time {
+		eng, err := BuildTopology(cfg, Topology{Chiplets: []ChipletSpec{
+			{Kind: "cpu", Benchmark: mustBench3(t, "swaptions"), WorkScale: scale},
+		}}, TopologyOptions{
+			Scheme:    config.Scheme{Kind: config.FixedVoltage, FixedV: 0.95},
+			SizingDur: 500 * sim.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Run(10 * sim.Millisecond).Completion["cpu"]
+	}
+	if t1, t2 := mk(1), mk(2); t2 <= t1 {
+		t.Fatalf("doubled work did not take longer: %d vs %d", t1, t2)
+	}
+}
+
+func TestSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep in -short mode")
+	}
+	sw, err := RunSeedSweep([]int64{1, 2, 3}, config.OffPackageVRLimit(), 2*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Violations != 0 {
+		t.Fatalf("HCAPP violated under %d seeds", sw.Violations)
+	}
+	if len(sw.HCAPPPPE) != 3 {
+		t.Fatalf("per-seed results = %d", len(sw.HCAPPPPE))
+	}
+	// The headline ordering must hold for every seed, not just seed 42.
+	for i := range sw.Seeds {
+		if sw.HCAPPPPE[i] <= sw.FixedPPE[i] {
+			t.Errorf("seed %d: HCAPP PPE %.3f not above fixed %.3f",
+				sw.Seeds[i], sw.HCAPPPPE[i], sw.FixedPPE[i])
+		}
+		if sw.HCAPPSpeedup[i] <= 1.0 {
+			t.Errorf("seed %d: speedup %.3f", sw.Seeds[i], sw.HCAPPSpeedup[i])
+		}
+	}
+	out := sw.Render()
+	if !strings.Contains(out, "hcapp speedup") {
+		t.Errorf("render missing rows:\n%s", out)
+	}
+}
+
+func TestRunSeedSweepValidation(t *testing.T) {
+	if _, err := RunSeedSweep(nil, config.PackagePinLimit(), sim.Millisecond); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+}

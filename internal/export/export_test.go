@@ -1,0 +1,149 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hcapp/internal/config"
+	"hcapp/internal/experiment"
+	"hcapp/internal/sim"
+	"hcapp/internal/trace"
+)
+
+func sampleMatrix() *experiment.Matrix {
+	m := experiment.NewMatrix("Fig X", "ppe", []string{"HCAPP", "Fixed"}, []string{"Hi-Hi", "Low-Low"})
+	m.Set("HCAPP", "Hi-Hi", 0.95)
+	m.Set("HCAPP", "Low-Low", 0.93)
+	m.Set("Fixed", "Hi-Hi", 0.84)
+	return m
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	a := []trace.Point{{T: sim.Microsecond, P: 1}, {T: 2 * sim.Microsecond, P: 2}}
+	b := []trace.Point{{T: sim.Microsecond, P: 3}, {T: 2 * sim.Microsecond, P: 4}, {T: 3 * sim.Microsecond, P: 5}}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, []string{"a", "b"}, a, b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + min(len) rows
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "time_us" || rows[0][1] != "a" || rows[0][2] != "b" {
+		t.Fatalf("header %v", rows[0])
+	}
+	if rows[1][0] != "1.00" {
+		t.Fatalf("time column %q", rows[1][0])
+	}
+}
+
+func TestWriteSeriesCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, []string{"a"}, nil, nil); err == nil {
+		t.Fatal("mismatched names accepted")
+	}
+	if err := WriteSeriesCSV(&buf, nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestWriteMatrixCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMatrixCSV(&buf, sampleMatrix()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][0] != "HCAPP" || rows[2][0] != "Fixed" {
+		t.Fatalf("series column broken: %v", rows)
+	}
+	// Unset cell renders empty.
+	if rows[2][2] != "" {
+		t.Fatalf("unset cell = %q", rows[2][2])
+	}
+	if err := WriteMatrixCSV(&buf, nil); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+}
+
+func TestWriteMatrixJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMatrixJSON(&buf, sampleMatrix()); err != nil {
+		t.Fatal(err)
+	}
+	var out MatrixJSON
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Title != "Fig X" || out.Series["HCAPP"]["Hi-Hi"] != 0.95 {
+		t.Fatalf("round trip broken: %+v", out)
+	}
+	if out.Avg["HCAPP"] != 0.94 {
+		t.Fatalf("average = %g", out.Avg["HCAPP"])
+	}
+}
+
+func TestRunResultJSON(t *testing.T) {
+	combo, err := experiment.ComboByName("Hi-Hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := experiment.RunResult{
+		Spec: experiment.RunSpec{
+			Combo:  combo,
+			Scheme: config.Scheme{Kind: config.HCAPP},
+			Limit:  config.PackagePinLimit(),
+		},
+		MaxWindowPower: 86,
+		MaxOverLimit:   0.86,
+		AvgPower:       80,
+		PPE:            0.80,
+		Duration:       12 * sim.Millisecond,
+		Completed:      true,
+		Completion:     map[string]sim.Time{"cpu": 11 * sim.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteRunResultJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var out RunResultJSON
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Combo != "Hi-Hi" || out.Scheme != "hcapp" || out.PPE != 0.80 {
+		t.Fatalf("round trip: %+v", out)
+	}
+	if out.CompletionUS["cpu"] != 11000 {
+		t.Fatalf("completion conversion: %g", out.CompletionUS["cpu"])
+	}
+	if out.DurationUS != 12000 {
+		t.Fatalf("duration conversion: %g", out.DurationUS)
+	}
+}
+
+func TestMatrixMarkdown(t *testing.T) {
+	md := MatrixMarkdown(sampleMatrix())
+	for _, want := range []string{"| Fig X (ppe) |", "| HCAPP |", "0.950", "| – |", "Ave."} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("markdown lines = %d", len(lines))
+	}
+	if MatrixMarkdown(nil) != "" {
+		t.Fatal("nil matrix should render empty")
+	}
+}

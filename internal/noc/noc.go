@@ -1,0 +1,131 @@
+// Package noc models the on-chip/on-interposer network a *centralized*
+// power controller would need to gather per-node metrics — the resource
+// HCAPP deliberately avoids by communicating "using the universal
+// language of voltage and current" over the power supply network itself.
+//
+// The paper's §2 critique: "getting the information from each node to
+// the centralized controller requires either separate global wires or
+// shared resources, such as a bus or a network. Both of these solutions
+// cause issues of either wire routing or congestion as the system
+// continues to scale. These are similar to the issues seen in on-chip
+// networking where crossbars and fully connected networks became
+// inviable."
+//
+// Two collection topologies are modeled:
+//
+//   - an aggregation tree with in-network reduction: each switch of
+//     radix R combines its children's reports, so latency grows with
+//     tree depth plus per-switch serialization of R messages;
+//   - a shared bus/star without reduction: every node's report crosses
+//     the shared medium to the controller, so latency grows linearly in
+//     node count.
+//
+// Both are deterministic latency models, which is all the centralized
+// controller's achievable period needs.
+package noc
+
+import (
+	"fmt"
+
+	"hcapp/internal/sim"
+)
+
+// Config describes the metric-collection interconnect.
+type Config struct {
+	// Radix is the fan-in of each aggregation switch (tree topology).
+	Radix int
+	// HopLatency is the wire+switch traversal latency per level.
+	HopLatency sim.Time
+	// MsgSerialization is the time to receive and process one metric
+	// message at a switch or at the controller.
+	MsgSerialization sim.Time
+	// Aggregating selects in-network reduction (tree) versus a shared
+	// bus that delivers every message to the controller.
+	Aggregating bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Radix < 2:
+		return fmt.Errorf("noc: radix %d below 2", c.Radix)
+	case c.HopLatency < 0:
+		return fmt.Errorf("noc: negative hop latency %d", c.HopLatency)
+	case c.MsgSerialization <= 0:
+		return fmt.Errorf("noc: non-positive serialization %d", c.MsgSerialization)
+	}
+	return nil
+}
+
+// DefaultTree returns a radix-4 aggregation tree with interposer-scale
+// latencies.
+func DefaultTree() Config {
+	return Config{
+		Radix:            4,
+		HopLatency:       100 * sim.Nanosecond,
+		MsgSerialization: 120 * sim.Nanosecond,
+		Aggregating:      true,
+	}
+}
+
+// DefaultBus returns a shared-bus collection network (no in-network
+// reduction): the §2 congestion case.
+func DefaultBus() Config {
+	return Config{
+		Radix:            2, // unused by the bus path but must validate
+		HopLatency:       100 * sim.Nanosecond,
+		MsgSerialization: 120 * sim.Nanosecond,
+		Aggregating:      false,
+	}
+}
+
+// Depth returns the aggregation-tree depth for n leaf nodes.
+func (c Config) Depth(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	depth := 0
+	for span := 1; span < n; span *= c.Radix {
+		depth++
+	}
+	return depth
+}
+
+// CollectionLatency returns the time for a centralized controller to
+// obtain a coherent snapshot of n nodes' metrics.
+func (c Config) CollectionLatency(n int) (sim.Time, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("noc: non-positive node count %d", n)
+	}
+	if n == 1 {
+		return c.HopLatency + c.MsgSerialization, nil
+	}
+	if c.Aggregating {
+		// Tree: each level adds a hop plus serialization of up to
+		// Radix child reports at the combining switch.
+		d := sim.Time(c.Depth(n))
+		return d*(c.HopLatency+sim.Time(c.Radix)*c.MsgSerialization) + c.MsgSerialization, nil
+	}
+	// Bus/star: one hop, then every report serializes through the
+	// shared medium.
+	return c.HopLatency + sim.Time(n)*c.MsgSerialization, nil
+}
+
+// MinControlPeriod returns the shortest control period a centralized
+// controller over this network can sustain for n nodes: a snapshot must
+// complete (and a command fan out, costing the same latency again)
+// within one period, and the period can never beat floor.
+func (c Config) MinControlPeriod(n int, floor sim.Time) (sim.Time, error) {
+	lat, err := c.CollectionLatency(n)
+	if err != nil {
+		return 0, err
+	}
+	period := 2 * lat // gather + scatter
+	if period < floor {
+		period = floor
+	}
+	return period, nil
+}

@@ -1,0 +1,155 @@
+package noc
+
+import (
+	"testing"
+
+	"hcapp/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultTree().Validate(); err != nil {
+		t.Fatalf("default tree invalid: %v", err)
+	}
+	if err := DefaultBus().Validate(); err != nil {
+		t.Fatalf("default bus invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"radix 1", func(c *Config) { c.Radix = 1 }},
+		{"negative hop", func(c *Config) { c.HopLatency = -1 }},
+		{"zero serialization", func(c *Config) { c.MsgSerialization = 0 }},
+	}
+	for _, c := range cases {
+		cfg := DefaultTree()
+		c.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	c := Config{Radix: 4, HopLatency: 1, MsgSerialization: 1, Aggregating: true}
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {4, 1}, {5, 2}, {16, 2}, {17, 3}, {64, 3}, {65, 4},
+	}
+	for _, cse := range cases {
+		if got := c.Depth(cse.n); got != cse.want {
+			t.Errorf("Depth(%d) = %d, want %d", cse.n, got, cse.want)
+		}
+	}
+}
+
+func TestCollectionLatencyErrors(t *testing.T) {
+	if _, err := DefaultTree().CollectionLatency(0); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	bad := DefaultTree()
+	bad.Radix = 0
+	if _, err := bad.CollectionLatency(8); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestTreeLatencyGrowsLogarithmically(t *testing.T) {
+	c := DefaultTree()
+	l16, err := c.CollectionLatency(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l256, err := c.CollectionLatency(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 → 256 nodes: depth 2 → 4, so latency roughly doubles rather
+	// than growing 16×.
+	if l256 <= l16 {
+		t.Fatalf("tree latency not growing: %d vs %d", l16, l256)
+	}
+	if l256 > 4*l16 {
+		t.Fatalf("tree latency grew superlogarithmically: %d vs %d", l16, l256)
+	}
+}
+
+func TestBusLatencyGrowsLinearly(t *testing.T) {
+	c := DefaultBus()
+	l10, err := c.CollectionLatency(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l100, err := c.CollectionLatency(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(l100-c.HopLatency) / float64(l10-c.HopLatency)
+	if ratio < 9.5 || ratio > 10.5 {
+		t.Fatalf("bus latency not linear: %d vs %d (ratio %g)", l10, l100, ratio)
+	}
+}
+
+func TestBusWorseThanTreeAtScale(t *testing.T) {
+	tree, bus := DefaultTree(), DefaultBus()
+	lt, _ := tree.CollectionLatency(384)
+	lb, _ := bus.CollectionLatency(384)
+	if lb <= lt {
+		t.Fatalf("bus %d not worse than tree %d at 384 nodes", lb, lt)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	for _, c := range []Config{DefaultTree(), DefaultBus()} {
+		got, err := c.CollectionLatency(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.HopLatency+c.MsgSerialization {
+			t.Fatalf("single-node latency %d", got)
+		}
+	}
+}
+
+func TestMinControlPeriod(t *testing.T) {
+	c := DefaultTree()
+	floor := 20 * sim.Microsecond
+	// Small system: floor dominates.
+	small, err := c.MinControlPeriod(8, floor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small != floor {
+		t.Fatalf("small-system period %d, want floor %d", small, floor)
+	}
+	// Huge bus system: gather+scatter dominates (the tree's logarithmic
+	// growth keeps even a million nodes under a 20 µs floor — which is
+	// exactly why reduction trees exist).
+	bus := DefaultBus()
+	big, err := bus.MinControlPeriod(1_000_000, floor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= floor {
+		t.Fatal("million-node bus system should exceed the floor")
+	}
+	lat, _ := bus.CollectionLatency(1_000_000)
+	if big != 2*lat {
+		t.Fatalf("period %d, want 2×%d", big, lat)
+	}
+}
+
+func TestMonotoneInNodes(t *testing.T) {
+	for _, c := range []Config{DefaultTree(), DefaultBus()} {
+		prev := sim.Time(0)
+		for n := 1; n <= 2048; n *= 2 {
+			lat, err := c.CollectionLatency(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lat < prev {
+				t.Fatalf("latency decreased at n=%d", n)
+			}
+			prev = lat
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package pid
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzUpdate checks that no input sequence can push the controller
+// output outside its clamps, corrupt its integral to NaN, or panic.
+func FuzzUpdate(f *testing.F) {
+	f.Add(1.0, 0.001, 3.0, -2.0, 0.5)
+	f.Add(-5.0, 1.0, 0.0, 0.0, 0.0)
+	f.Add(1e300, 1e-9, -1e300, 42.0, -42.0)
+	f.Fuzz(func(t *testing.T, e1, dt, e2, e3, e4 float64) {
+		c := MustNew(Config{
+			KP: 0.006, KI: 2500, KD: 1e-8, DerivTau: 1e-6,
+			FeedForward: 0.95, OutMin: 0.6, OutMax: 1.2, OverGain: 6,
+		})
+		for _, e := range []float64{e1, e2, e3, e4, e1, e2} {
+			out := c.Update(e, dt)
+			if math.IsNaN(out) {
+				t.Fatalf("NaN output for err=%g dt=%g", e, dt)
+			}
+			if out < 0.6-1e-9 || out > 1.2+1e-9 {
+				t.Fatalf("output %g escaped clamps", out)
+			}
+			if math.IsNaN(c.Integral()) {
+				t.Fatal("integral NaN")
+			}
+		}
+	})
+}

@@ -1,0 +1,273 @@
+package pid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func baseCfg() Config {
+	return Config{
+		KP: 0.5, KI: 2.0, KD: 0,
+		FeedForward: 1.0,
+		OutMin:      0, OutMax: 10,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := baseCfg().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"empty clamp", func(c *Config) { c.OutMin, c.OutMax = 5, 5 }},
+		{"inverted clamp", func(c *Config) { c.OutMin, c.OutMax = 10, 0 }},
+		{"negative kp", func(c *Config) { c.KP = -1 }},
+		{"negative ki", func(c *Config) { c.KI = -1 }},
+		{"negative kd", func(c *Config) { c.KD = -1 }},
+		{"negative deriv tau", func(c *Config) { c.DerivTau = -1 }},
+		{"negative overgain", func(c *Config) { c.OverGain = -2 }},
+	}
+	for _, c := range cases {
+		cfg := baseCfg()
+		c.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	cfg := baseCfg()
+	cfg.OutMin = cfg.OutMax
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted invalid config")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	cfg := baseCfg()
+	cfg.KP = -1
+	MustNew(cfg)
+}
+
+func TestProportionalResponse(t *testing.T) {
+	cfg := baseCfg()
+	cfg.KI = 0
+	c := MustNew(cfg)
+	got := c.Update(2, 0.01)
+	want := cfg.FeedForward + cfg.KP*2
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("P response = %g, want %g", got, want)
+	}
+}
+
+func TestIntegralAccumulates(t *testing.T) {
+	cfg := baseCfg()
+	cfg.KP = 0
+	c := MustNew(cfg)
+	c.Update(1, 0.5)
+	c.Update(1, 0.5)
+	if got := c.Integral(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("integral = %g, want 1.0", got)
+	}
+	got := c.Update(0, 0.5)
+	want := cfg.FeedForward + cfg.KI*1.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("output = %g, want %g", got, want)
+	}
+}
+
+func TestOutputClamped(t *testing.T) {
+	c := MustNew(baseCfg())
+	if got := c.Update(1e9, 1); got != 10 {
+		t.Fatalf("high output = %g, want clamp at 10", got)
+	}
+	c.Reset()
+	if got := c.Update(-1e9, 1); got != 0 {
+		t.Fatalf("low output = %g, want clamp at 0", got)
+	}
+}
+
+func TestAntiWindup(t *testing.T) {
+	// Long saturation at the top must not wind the integral up.
+	c := MustNew(baseCfg())
+	for i := 0; i < 1000; i++ {
+		c.Update(5, 0.1) // would integrate to 5*0.1*1000 = 500 without anti-windup
+	}
+	saturatedInteg := c.Integral()
+	if saturatedInteg*c.cfg.KI+c.cfg.FeedForward > c.cfg.OutMax+c.cfg.KP*5+1 {
+		t.Fatalf("integral wound up to %g", saturatedInteg)
+	}
+	// Recovery after the error flips must be fast: within a few updates,
+	// not hundreds.
+	out := 0.0
+	for i := 0; i < 5; i++ {
+		out = c.Update(-5, 0.1)
+	}
+	if out >= c.cfg.OutMax {
+		t.Fatalf("stuck at clamp after error reversal (out=%g)", out)
+	}
+}
+
+func TestAntiWindupLowerClamp(t *testing.T) {
+	c := MustNew(baseCfg())
+	for i := 0; i < 1000; i++ {
+		c.Update(-5, 0.1)
+	}
+	out := 0.0
+	for i := 0; i < 5; i++ {
+		out = c.Update(5, 0.1)
+	}
+	if out <= c.cfg.OutMin {
+		t.Fatalf("stuck at lower clamp after error reversal (out=%g)", out)
+	}
+}
+
+func TestDegenerateInputsHold(t *testing.T) {
+	c := MustNew(baseCfg())
+	c.Update(1, 0.1)
+	before := c.Integral()
+	c.Update(1, 0)           // zero dt
+	c.Update(math.NaN(), 01) // NaN error
+	if c.Integral() != before {
+		t.Fatal("degenerate input mutated integral")
+	}
+}
+
+func TestOverGainAsymmetry(t *testing.T) {
+	cfg := baseCfg()
+	cfg.KI = 0
+	cfg.OverGain = 4
+	cfg.OutMin, cfg.OutMax = -100, 100 // keep clamps out of the way
+	c := MustNew(cfg)
+	up := c.Update(1, 0.1) - cfg.FeedForward
+	c.Reset()
+	down := c.Update(-1, 0.1) - cfg.FeedForward
+	if math.Abs(down/up+4) > 1e-9 {
+		t.Fatalf("over-gain asymmetry wrong: up %g down %g", up, down)
+	}
+}
+
+func TestOverGainOnIntegral(t *testing.T) {
+	cfg := baseCfg()
+	cfg.KP = 0
+	cfg.OverGain = 4
+	c := MustNew(cfg)
+	c.Update(-1, 0.1)
+	if got := c.Integral(); math.Abs(got+0.4) > 1e-12 {
+		t.Fatalf("integral after over-gain step = %g, want -0.4", got)
+	}
+	c.Reset()
+	c.Update(1, 0.1)
+	if got := c.Integral(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("integral after positive step = %g, want 0.1", got)
+	}
+}
+
+func TestOverGainOneIsSymmetric(t *testing.T) {
+	cfg := baseCfg()
+	cfg.OverGain = 1
+	c := MustNew(cfg)
+	up := c.Update(1, 0.1) - cfg.FeedForward
+	c.Reset()
+	down := c.Update(-1, 0.1) - cfg.FeedForward
+	if math.Abs(up+down) > 1e-12 {
+		t.Fatalf("OverGain=1 should be symmetric: %g vs %g", up, down)
+	}
+}
+
+func TestDerivativeFilter(t *testing.T) {
+	cfg := baseCfg()
+	cfg.KP, cfg.KI = 0, 0
+	cfg.KD = 1
+	cfg.DerivTau = 0.0 // unfiltered
+	c := MustNew(cfg)
+	c.Update(0, 0.1)
+	raw := c.Update(1, 0.1) - cfg.FeedForward // derivative = 10
+
+	cfg.DerivTau = 1.0
+	cf := MustNew(cfg)
+	cf.Update(0, 0.1)
+	filt := cf.Update(1, 0.1) - cfg.FeedForward
+	if !(filt > 0 && filt < raw) {
+		t.Fatalf("filtered derivative %g should be in (0, %g)", filt, raw)
+	}
+}
+
+func TestDerivativeUndefinedOnFirstSample(t *testing.T) {
+	cfg := baseCfg()
+	cfg.KP, cfg.KI = 0, 0
+	cfg.KD = 100
+	c := MustNew(cfg)
+	if got := c.Update(5, 0.1); got != cfg.FeedForward {
+		t.Fatalf("first update used a derivative: %g", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustNew(baseCfg())
+	c.Update(3, 0.1)
+	c.Update(3, 0.1)
+	c.Reset()
+	if c.Integral() != 0 {
+		t.Fatal("Reset did not clear integral")
+	}
+	got := c.Update(1, 0.1)
+	fresh := MustNew(baseCfg()).Update(1, 0.1)
+	if got != fresh {
+		t.Fatalf("post-reset output %g differs from fresh %g", got, fresh)
+	}
+}
+
+// firstOrderPlant is a discrete first-order lag: y += (K·u − y)·dt/τ.
+type firstOrderPlant struct {
+	y, k, tau float64
+}
+
+func (p *firstOrderPlant) Step(u, dt float64) float64 {
+	p.y += (p.k*u - p.y) * dt / p.tau
+	return p.y
+}
+
+func TestClosedLoopConvergence(t *testing.T) {
+	// A PI loop on a first-order plant must settle at the setpoint.
+	plant := &firstOrderPlant{k: 3, tau: 0.5}
+	c := MustNew(Config{KP: 0.2, KI: 2.0, FeedForward: 0, OutMin: -100, OutMax: 100})
+	setpoint := 6.0
+	dt := 0.01
+	y := 0.0
+	for i := 0; i < 5000; i++ {
+		u := c.Update(setpoint-y, dt)
+		y = plant.Step(u, dt)
+	}
+	if math.Abs(y-setpoint) > 0.05 {
+		t.Fatalf("loop settled at %g, want %g", y, setpoint)
+	}
+}
+
+func TestOutputAlwaysWithinClampProperty(t *testing.T) {
+	c := MustNew(baseCfg())
+	f := func(errs []float64) bool {
+		for _, e := range errs {
+			if math.IsNaN(e) || math.IsInf(e, 0) {
+				continue
+			}
+			out := c.Update(e, 0.01)
+			if out < c.cfg.OutMin || out > c.cfg.OutMax {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

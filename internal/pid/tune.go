@@ -1,0 +1,195 @@
+package pid
+
+import (
+	"errors"
+	"math"
+)
+
+// Plant is a discrete single-input single-output process under control:
+// given the actuator setting u and a timestep dt (seconds), it advances
+// one step and returns the measured process variable.
+type Plant interface {
+	Step(u, dt float64) float64
+}
+
+// PlantFunc adapts a closure to the Plant interface.
+type PlantFunc func(u, dt float64) float64
+
+// Step implements Plant.
+func (f PlantFunc) Step(u, dt float64) float64 { return f(u, dt) }
+
+// StepResponse drives the plant with a step from u0 to u1 and records the
+// process variable for n steps of dt seconds. The result feeds
+// EstimateFOPDT.
+func StepResponse(p Plant, u0, u1, dt float64, warmup, n int) []float64 {
+	for i := 0; i < warmup; i++ {
+		p.Step(u0, dt)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = p.Step(u1, dt)
+	}
+	return out
+}
+
+// FOPDT is a first-order-plus-dead-time process characterization: gain K,
+// time constant Tau (seconds), dead time Theta (seconds). It is the
+// classic basis for PID tuning rules.
+type FOPDT struct {
+	K     float64
+	Tau   float64
+	Theta float64
+}
+
+// ErrFlatResponse is returned when the step response carries no usable
+// signal (zero gain), so no tuning is possible.
+var ErrFlatResponse = errors.New("pid: step response is flat; cannot tune")
+
+// EstimateFOPDT fits a first-order-plus-dead-time model to a recorded step
+// response using the two-point (28.3 % / 63.2 %) method. resp must start at
+// the pre-step steady state; du is the actuator step size.
+func EstimateFOPDT(resp []float64, du, dt float64) (FOPDT, error) {
+	if len(resp) < 4 {
+		return FOPDT{}, errors.New("pid: step response too short")
+	}
+	if du == 0 {
+		return FOPDT{}, errors.New("pid: zero actuator step")
+	}
+	y0 := resp[0]
+	yInf := resp[len(resp)-1]
+	dy := yInf - y0
+	if dy == 0 {
+		return FOPDT{}, ErrFlatResponse
+	}
+	t283 := crossTime(resp, y0+0.283*dy, dt)
+	t632 := crossTime(resp, y0+0.632*dy, dt)
+	if math.IsNaN(t283) || math.IsNaN(t632) || t632 <= t283 {
+		return FOPDT{}, errors.New("pid: could not locate response fractions")
+	}
+	tau := 1.5 * (t632 - t283)
+	theta := t632 - tau
+	if theta < 0 {
+		theta = 0
+	}
+	return FOPDT{K: dy / du, Tau: tau, Theta: theta}, nil
+}
+
+// crossTime returns the first time (seconds) at which the response crosses
+// level, linearly interpolated, or NaN if it never does. Works for both
+// rising and falling responses.
+func crossTime(resp []float64, level, dt float64) float64 {
+	rising := resp[len(resp)-1] >= resp[0]
+	for i := 1; i < len(resp); i++ {
+		crossed := (rising && resp[i] >= level) || (!rising && resp[i] <= level)
+		if !crossed {
+			continue
+		}
+		prev, cur := resp[i-1], resp[i]
+		if cur == prev {
+			return float64(i) * dt
+		}
+		frac := (level - prev) / (cur - prev)
+		return (float64(i-1) + frac) * dt
+	}
+	return math.NaN()
+}
+
+// TuneIMC derives PI gains from a FOPDT fit using the IMC (lambda) tuning
+// rule, with lambda (the desired closed-loop time constant) expressed as a
+// multiple of the process time constant. Aggressive: lambdaFactor≈0.5;
+// conservative: ≥2. The derivative gain is left at zero — the paper notes
+// "the derivative portion of the PID design is generally unneeded. This
+// results in a PI controller" (§3.1).
+func TuneIMC(m FOPDT, lambdaFactor float64) (Config, error) {
+	if m.K == 0 || m.Tau <= 0 {
+		return Config{}, errors.New("pid: degenerate FOPDT model")
+	}
+	if lambdaFactor <= 0 {
+		return Config{}, errors.New("pid: non-positive lambda factor")
+	}
+	lambda := lambdaFactor * m.Tau
+	kp := m.Tau / (m.K * (lambda + m.Theta))
+	ti := m.Tau
+	return Config{KP: math.Abs(kp), KI: math.Abs(kp) / ti}, nil
+}
+
+// UltimateGain performs the paper's manual procedure automatically: raise
+// the proportional gain on a pure-P closed loop until the loop output
+// oscillates without decaying, and report the ultimate gain Ku and period
+// Tu (seconds). newPlant must return a fresh plant per trial; setpoint is
+// the target process value; u is initialized to uInit.
+//
+// The probe runs each candidate gain for trialSteps of dt seconds and
+// declares sustained oscillation when the peak-to-peak amplitude of the
+// last third of the trial is at least 90 % of the middle third's.
+func UltimateGain(newPlant func() Plant, setpoint, uInit, uMin, uMax, dt float64, trialSteps int) (ku, tu float64, err error) {
+	for gain := 0.01; gain < 1e6; gain *= 1.5 {
+		p := newPlant()
+		u := uInit
+		hist := make([]float64, trialSteps)
+		for i := 0; i < trialSteps; i++ {
+			y := p.Step(u, dt)
+			hist[i] = y
+			u = clamp(uInit+gain*(setpoint-y), uMin, uMax)
+		}
+		third := trialSteps / 3
+		midAmp := peakToPeak(hist[third : 2*third])
+		lateAmp := peakToPeak(hist[2*third:])
+		if midAmp > 1e-12 && lateAmp >= 0.9*midAmp && lateAmp > 1e-9*math.Abs(setpoint) {
+			return gain, oscPeriod(hist[2*third:], dt), nil
+		}
+	}
+	return 0, 0, errors.New("pid: no ultimate gain found (plant may be unconditionally stable)")
+}
+
+func peakToPeak(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
+}
+
+// oscPeriod estimates the oscillation period from mean crossings.
+func oscPeriod(xs []float64, dt float64) float64 {
+	if len(xs) < 3 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var crossings []int
+	for i := 1; i < len(xs); i++ {
+		if (xs[i-1] < mean) != (xs[i] < mean) {
+			crossings = append(crossings, i)
+		}
+	}
+	if len(crossings) < 3 {
+		return 0
+	}
+	// Two crossings per period.
+	span := crossings[len(crossings)-1] - crossings[0]
+	periods := float64(len(crossings)-1) / 2
+	return float64(span) * dt / periods
+}
+
+// TuneZN derives PI gains from the ultimate gain/period via the
+// Ziegler–Nichols PI rule.
+func TuneZN(ku, tu float64) (Config, error) {
+	if ku <= 0 || tu <= 0 {
+		return Config{}, errors.New("pid: invalid ultimate gain/period")
+	}
+	kp := 0.45 * ku
+	ti := tu / 1.2
+	return Config{KP: kp, KI: kp / ti}, nil
+}

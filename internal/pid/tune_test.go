@@ -1,0 +1,218 @@
+package pid
+
+import (
+	"math"
+	"testing"
+)
+
+// delayedPlant is a first-order lag plus a transport delay in steps —
+// the classic FOPDT process.
+type delayedPlant struct {
+	lag  firstOrderPlant
+	line []float64
+	head int
+}
+
+func newDelayedPlant(k, tau float64, delaySteps int) *delayedPlant {
+	return &delayedPlant{
+		lag:  firstOrderPlant{k: k, tau: tau},
+		line: make([]float64, delaySteps+1),
+	}
+}
+
+func (p *delayedPlant) Step(u, dt float64) float64 {
+	p.line[p.head] = u
+	p.head = (p.head + 1) % len(p.line)
+	return p.lag.Step(p.line[p.head], dt)
+}
+
+func TestStepResponseShape(t *testing.T) {
+	p := &firstOrderPlant{k: 2, tau: 0.3}
+	resp := StepResponse(p, 0, 1, 0.01, 100, 500)
+	if len(resp) != 500 {
+		t.Fatalf("response length %d", len(resp))
+	}
+	if resp[0] > resp[len(resp)-1] {
+		t.Fatal("step response should rise")
+	}
+	final := resp[len(resp)-1]
+	if math.Abs(final-2) > 0.05 {
+		t.Fatalf("final value %g, want ~2 (gain)", final)
+	}
+}
+
+func TestEstimateFOPDT(t *testing.T) {
+	p := newDelayedPlant(2.0, 0.3, 20) // 0.2 s dead time at dt=0.01
+	resp := StepResponse(p, 0, 1, 0.01, 400, 800)
+	m, err := EstimateFOPDT(resp, 1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.K-2) > 0.1 {
+		t.Errorf("gain estimate %g, want ~2", m.K)
+	}
+	if math.Abs(m.Tau-0.3) > 0.1 {
+		t.Errorf("tau estimate %g, want ~0.3", m.Tau)
+	}
+	if math.Abs(m.Theta-0.2) > 0.1 {
+		t.Errorf("dead-time estimate %g, want ~0.2", m.Theta)
+	}
+}
+
+func TestEstimateFOPDTErrors(t *testing.T) {
+	if _, err := EstimateFOPDT([]float64{1, 2}, 1, 0.01); err == nil {
+		t.Fatal("short response accepted")
+	}
+	if _, err := EstimateFOPDT([]float64{1, 2, 3, 4}, 0, 0.01); err == nil {
+		t.Fatal("zero actuator step accepted")
+	}
+	if _, err := EstimateFOPDT([]float64{1, 1, 1, 1}, 1, 0.01); err != ErrFlatResponse {
+		t.Fatal("flat response should return ErrFlatResponse")
+	}
+}
+
+func TestEstimateFOPDTFallingResponse(t *testing.T) {
+	p := &firstOrderPlant{k: 2, tau: 0.3}
+	// Negative step: response falls.
+	StepResponse(p, 1, 1, 0.01, 400, 1) // settle at 2
+	resp := StepResponse(p, 1, 0, 0.01, 0, 600)
+	m, err := EstimateFOPDT(resp, -1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.K-2) > 0.15 {
+		t.Errorf("falling-response gain %g, want ~2", m.K)
+	}
+}
+
+func TestTuneIMC(t *testing.T) {
+	cfg, err := TuneIMC(FOPDT{K: 2, Tau: 0.3, Theta: 0.05}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.KP <= 0 || cfg.KI <= 0 {
+		t.Fatalf("non-positive gains: %+v", cfg)
+	}
+	if cfg.KD != 0 {
+		t.Fatal("IMC PI tune should leave KD at zero (paper §3.1)")
+	}
+	// A more aggressive lambda gives a larger KP.
+	fast, _ := TuneIMC(FOPDT{K: 2, Tau: 0.3, Theta: 0.05}, 0.5)
+	if fast.KP <= cfg.KP {
+		t.Fatal("smaller lambda should raise KP")
+	}
+}
+
+func TestTuneIMCErrors(t *testing.T) {
+	if _, err := TuneIMC(FOPDT{K: 0, Tau: 1}, 1); err == nil {
+		t.Fatal("zero gain accepted")
+	}
+	if _, err := TuneIMC(FOPDT{K: 1, Tau: 0}, 1); err == nil {
+		t.Fatal("zero tau accepted")
+	}
+	if _, err := TuneIMC(FOPDT{K: 1, Tau: 1}, 0); err == nil {
+		t.Fatal("zero lambda accepted")
+	}
+}
+
+func TestTuneIMCClosedLoop(t *testing.T) {
+	// End-to-end: identify, tune, and verify the loop settles.
+	p := newDelayedPlant(2.0, 0.3, 10)
+	resp := StepResponse(p, 0, 1, 0.01, 400, 800)
+	m, err := EstimateFOPDT(resp, 1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := TuneIMC(m, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.OutMin, cfg.OutMax = -100, 100
+	c := MustNew(cfg)
+	plant := newDelayedPlant(2.0, 0.3, 10)
+	setpoint := 5.0
+	y := 0.0
+	for i := 0; i < 4000; i++ {
+		u := c.Update(setpoint-y, 0.01)
+		y = plant.Step(u, 0.01)
+	}
+	if math.Abs(y-setpoint) > 0.25 {
+		t.Fatalf("tuned loop settled at %g, want %g", y, setpoint)
+	}
+}
+
+func TestUltimateGainFindsOscillation(t *testing.T) {
+	newP := func() Plant { return newDelayedPlant(2.0, 0.2, 30) }
+	ku, tu, err := UltimateGain(newP, 5, 0, -100, 100, 0.01, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ku <= 0 {
+		t.Fatalf("ultimate gain %g", ku)
+	}
+	if tu <= 0 {
+		t.Fatalf("ultimate period %g", tu)
+	}
+	cfg, err := TuneZN(ku, tu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.KP <= 0 || cfg.KI <= 0 {
+		t.Fatalf("ZN gains %+v", cfg)
+	}
+}
+
+func TestTuneZNErrors(t *testing.T) {
+	if _, err := TuneZN(0, 1); err == nil {
+		t.Fatal("zero ku accepted")
+	}
+	if _, err := TuneZN(1, 0); err == nil {
+		t.Fatal("zero tu accepted")
+	}
+}
+
+func TestPlantFunc(t *testing.T) {
+	called := false
+	p := PlantFunc(func(u, dt float64) float64 {
+		called = true
+		return u * 2
+	})
+	if got := p.Step(3, 0.1); got != 6 || !called {
+		t.Fatalf("PlantFunc.Step = %g", got)
+	}
+}
+
+func TestCrossTime(t *testing.T) {
+	resp := []float64{0, 1, 2, 3, 4}
+	if got := crossTime(resp, 2.5, 1); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("crossTime = %g, want 2.5", got)
+	}
+	if got := crossTime(resp, 10, 1); !math.IsNaN(got) {
+		t.Fatalf("unreachable level should be NaN, got %g", got)
+	}
+	falling := []float64{4, 3, 2, 1, 0}
+	if got := crossTime(falling, 1.5, 1); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("falling crossTime = %g, want 2.5", got)
+	}
+}
+
+func TestPeakToPeakAndOscPeriod(t *testing.T) {
+	if got := peakToPeak(nil); got != 0 {
+		t.Fatalf("empty peakToPeak = %g", got)
+	}
+	if got := peakToPeak([]float64{1, 5, 2}); got != 4 {
+		t.Fatalf("peakToPeak = %g", got)
+	}
+	// A sine with period 20 samples at dt=0.1 → period 2.0 s.
+	var xs []float64
+	for i := 0; i < 200; i++ {
+		xs = append(xs, math.Sin(2*math.Pi*float64(i)/20))
+	}
+	got := oscPeriod(xs, 0.1)
+	if math.Abs(got-2.0) > 0.2 {
+		t.Fatalf("oscPeriod = %g, want ~2.0", got)
+	}
+	if got := oscPeriod([]float64{1, 1}, 0.1); got != 0 {
+		t.Fatalf("degenerate oscPeriod = %g", got)
+	}
+}

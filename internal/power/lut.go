@@ -1,0 +1,75 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LUT is a one-dimensional lookup table with linear interpolation between
+// points and clamping outside the domain. The paper's SHA accelerator model
+// is exactly this: "the points from the relevant figures in the paper were
+// put into lookup tables and, based on the provided voltage, throughput and
+// power for a given time period were calculated" (§4.4).
+type LUT struct {
+	xs, ys []float64
+}
+
+// NewLUT builds a lookup table from (x, y) points. Points are sorted by x;
+// x values must be distinct and there must be at least two points.
+func NewLUT(xs, ys []float64) (*LUT, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("power: LUT length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("power: LUT needs at least 2 points, got %d", len(xs))
+	}
+	type pt struct{ x, y float64 }
+	pts := make([]pt, len(xs))
+	for i := range xs {
+		pts[i] = pt{xs[i], ys[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	l := &LUT{xs: make([]float64, len(pts)), ys: make([]float64, len(pts))}
+	for i, p := range pts {
+		if i > 0 && p.x == pts[i-1].x {
+			return nil, fmt.Errorf("power: duplicate LUT x value %g", p.x)
+		}
+		l.xs[i], l.ys[i] = p.x, p.y
+	}
+	return l, nil
+}
+
+// MustLUT is NewLUT that panics on invalid input; for package-level tables
+// built from literal data.
+func MustLUT(xs, ys []float64) *LUT {
+	l, err := NewLUT(xs, ys)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// At returns the interpolated value at x, clamped to the end values
+// outside the table's domain.
+func (l *LUT) At(x float64) float64 {
+	if x <= l.xs[0] {
+		return l.ys[0]
+	}
+	n := len(l.xs)
+	if x >= l.xs[n-1] {
+		return l.ys[n-1]
+	}
+	// Binary search for the segment containing x.
+	i := sort.SearchFloat64s(l.xs, x)
+	// xs[i-1] < x <= xs[i]
+	x0, x1 := l.xs[i-1], l.xs[i]
+	y0, y1 := l.ys[i-1], l.ys[i]
+	frac := (x - x0) / (x1 - x0)
+	return y0 + frac*(y1-y0)
+}
+
+// Domain returns the table's x range.
+func (l *LUT) Domain() (lo, hi float64) { return l.xs[0], l.xs[len(l.xs)-1] }
+
+// Len returns the number of points in the table.
+func (l *LUT) Len() int { return len(l.xs) }

@@ -1,0 +1,130 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLUTErrors(t *testing.T) {
+	if _, err := NewLUT([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewLUT([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := NewLUT([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("duplicate x accepted")
+	}
+}
+
+func TestMustLUTPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLUT did not panic on bad input")
+		}
+	}()
+	MustLUT([]float64{1}, []float64{1})
+}
+
+func TestLUTExactPoints(t *testing.T) {
+	l := MustLUT([]float64{0.2, 0.5, 0.9}, []float64{1, 4, 10})
+	for i, x := range []float64{0.2, 0.5, 0.9} {
+		want := []float64{1, 4, 10}[i]
+		if got := l.At(x); got != want {
+			t.Errorf("At(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestLUTInterpolation(t *testing.T) {
+	l := MustLUT([]float64{0, 1}, []float64{0, 10})
+	for _, c := range []struct{ x, want float64 }{{0.5, 5}, {0.25, 2.5}, {0.9, 9}} {
+		if got := l.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLUTClamping(t *testing.T) {
+	l := MustLUT([]float64{0.23, 0.95}, []float64{1, 20})
+	if got := l.At(0.1); got != 1 {
+		t.Fatalf("below-domain At = %g, want clamp to 1", got)
+	}
+	if got := l.At(2); got != 20 {
+		t.Fatalf("above-domain At = %g, want clamp to 20", got)
+	}
+}
+
+func TestLUTSortsInput(t *testing.T) {
+	l := MustLUT([]float64{0.9, 0.2, 0.5}, []float64{10, 1, 4})
+	if got := l.At(0.35); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("At(0.35) = %g, want 2.5 (midpoint of 1 and 4)", got)
+	}
+	lo, hi := l.Domain()
+	if lo != 0.2 || hi != 0.9 {
+		t.Fatalf("Domain = [%g,%g]", lo, hi)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestLUTMonotonePreserved(t *testing.T) {
+	// A table with increasing y must interpolate monotonically.
+	xs := []float64{0.23, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95}
+	ys := []float64{0.22, 0.56, 1.40, 2.75, 4.90, 8.00, 12.2, 17.8, 21.1}
+	l := MustLUT(xs, ys)
+	prev := math.Inf(-1)
+	for v := 0.2; v <= 1.0; v += 0.001 {
+		y := l.At(v)
+		if y < prev-1e-12 {
+			t.Fatalf("interpolation not monotone at %g", v)
+		}
+		prev = y
+	}
+}
+
+func TestLUTWithinEnvelopeProperty(t *testing.T) {
+	// Interpolated values always lie within [min(y), max(y)].
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) + rng.Float64()*0.5
+			ys[i] = rng.NormFloat64() * 10
+		}
+		l, err := NewLUT(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loY, hiY := math.Inf(1), math.Inf(-1)
+		for _, y := range ys {
+			loY = math.Min(loY, y)
+			hiY = math.Max(hiY, y)
+		}
+		for probe := 0; probe < 100; probe++ {
+			x := -1 + rng.Float64()*float64(n+2)
+			y := l.At(x)
+			if y < loY-1e-9 || y > hiY+1e-9 {
+				t.Fatalf("At(%g) = %g outside [%g,%g]", x, y, loY, hiY)
+			}
+		}
+	}
+}
+
+func TestLUTAtQuickNeverNaN(t *testing.T) {
+	l := MustLUT([]float64{0, 1, 2}, []float64{5, -3, 8})
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		return !math.IsNaN(l.At(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

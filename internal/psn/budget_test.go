@@ -1,0 +1,78 @@
+package psn
+
+import (
+	"strings"
+	"testing"
+
+	"hcapp/internal/sim"
+)
+
+func TestDelayRangeOps(t *testing.T) {
+	r := DelayRange{10, 20}
+	if got := r.Scale(3); got.Min != 30 || got.Max != 60 {
+		t.Fatalf("Scale = %+v", got)
+	}
+	if got := r.Add(DelayRange{1, 2}); got.Min != 11 || got.Max != 22 {
+		t.Fatalf("Add = %+v", got)
+	}
+	if got := r.String(); got != "10-20" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestBudgetEntryScaled(t *testing.T) {
+	e := BudgetEntry{Simulated: DelayRange{36, 226}, Count: 2}
+	if got := e.Scaled(); got.Min != 72 || got.Max != 452 {
+		t.Fatalf("VR entry scaled = %+v", got)
+	}
+	e = BudgetEntry{Simulated: DelayRange{3, 15}, Count: 1, ScaleUp: 5}
+	if got := e.Scaled(); got.Min != 15 || got.Max != 75 {
+		t.Fatalf("PSN entry scaled = %+v", got)
+	}
+	// Zero count/scale default to 1.
+	e = BudgetEntry{Simulated: DelayRange{10, 20}}
+	if got := e.Scaled(); got.Min != 10 || got.Max != 20 {
+		t.Fatalf("default scaled = %+v", got)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	b := Table1()
+	total := b.Total()
+	// Paper Table 1: total 147–617 ns scaled, against a 1 µs period.
+	if total.Min != 147 || total.Max != 617 {
+		t.Fatalf("Table 1 total = %+v, want 147-617", total)
+	}
+	if b.ControlPeriod != 1*sim.Microsecond {
+		t.Fatalf("control period = %d", b.ControlPeriod)
+	}
+	if !b.Feasible() {
+		t.Fatal("paper budget must be feasible at 1 µs")
+	}
+}
+
+func TestBudgetInfeasible(t *testing.T) {
+	b := Table1()
+	b.ControlPeriod = 500
+	if b.Feasible() {
+		t.Fatal("617 ns round trip cannot fit a 500 ns period")
+	}
+}
+
+func TestBudgetRender(t *testing.T) {
+	out := Table1().Render()
+	for _, want := range []string{
+		"Voltage Regulator (global and domain)",
+		"Sensing Circuitry",
+		"Controller",
+		"Power Supply Network",
+		"147-617",
+		"1000",
+		"(x2)",
+		"(x5)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered budget missing %q:\n%s", want, out)
+		}
+	}
+}

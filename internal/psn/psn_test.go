@@ -1,0 +1,153 @@
+package psn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hcapp/internal/sim"
+)
+
+func TestNewDelayLineErrors(t *testing.T) {
+	if _, err := NewDelayLine(100, 0, 1); err == nil {
+		t.Fatal("zero timestep accepted")
+	}
+	if _, err := NewDelayLine(-1, 100, 1); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestMustDelayLinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDelayLine did not panic")
+		}
+	}()
+	MustDelayLine(100, 0, 1)
+}
+
+func TestDelayLineExactDelay(t *testing.T) {
+	// 500 ns at 100 ns steps → depth 5.
+	d := MustDelayLine(500, 100, 0.95)
+	if d.Depth() != 5 {
+		t.Fatalf("depth = %d, want 5", d.Depth())
+	}
+	for i := 0; i < 5; i++ {
+		if got := d.Step(2.0); got != 0.95 {
+			t.Fatalf("initial fill emerged early at step %d: %g", i, got)
+		}
+	}
+	if got := d.Step(2.0); got != 2.0 {
+		t.Fatalf("delayed sample = %g, want 2.0", got)
+	}
+}
+
+func TestDelayLineZeroDelay(t *testing.T) {
+	// Sub-step delays pass straight through: the engine's step ordering
+	// already imposes one step of latency.
+	d := MustDelayLine(0, 100, 0)
+	if got := d.Step(7); got != 7 {
+		t.Fatalf("zero-delay line should pass through: got %g", got)
+	}
+	if got := d.Step(8); got != 8 {
+		t.Fatalf("second step = %g, want 8", got)
+	}
+}
+
+func TestDelayLineOutputPeek(t *testing.T) {
+	d := MustDelayLine(200, 100, 1.5)
+	if got := d.Output(); got != 1.5 {
+		t.Fatalf("Output peek = %g", got)
+	}
+	d.Step(3)
+	if got := d.Output(); got != 1.5 {
+		t.Fatalf("peek after one push = %g, want still initial", got)
+	}
+}
+
+func TestDelayLineReset(t *testing.T) {
+	d := MustDelayLine(300, 100, 0.9)
+	for i := 0; i < 10; i++ {
+		d.Step(5)
+	}
+	d.Reset()
+	for i := 0; i <= d.Depth(); i++ {
+		if got := d.Step(1); i < d.Depth() && got != 0.9 {
+			t.Fatalf("reset line leaked at %d: %g", i, got)
+		}
+	}
+}
+
+func TestDelayLinePreservesSequence(t *testing.T) {
+	d := MustDelayLine(300, 100, 0)
+	inputs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	var outputs []float64
+	for _, in := range inputs {
+		outputs = append(outputs, d.Step(in))
+	}
+	// depth 3: outputs should be 0,0,0,1,2,3,4,5
+	want := []float64{0, 0, 0, 1, 2, 3, 4, 5}
+	for i := range want {
+		if outputs[i] != want[i] {
+			t.Fatalf("outputs %v, want %v", outputs, want)
+		}
+	}
+}
+
+func TestDelayLineSequenceProperty(t *testing.T) {
+	f := func(vals []float64, depthRaw uint8) bool {
+		depth := int(depthRaw%10) + 1
+		d := MustDelayLine(sim.Time(depth)*100, 100, 0)
+		for i, v := range vals {
+			if math.IsNaN(v) {
+				return true
+			}
+			out := d.Step(v)
+			if i >= depth && out != vals[i-depth] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDroop(t *testing.T) {
+	d := Droop{R: 0.001}
+	// 95 W at 0.95 V → 100 A → 0.1 V droop.
+	got := d.Apply(0.95, 95)
+	if math.Abs(got-0.85) > 1e-12 {
+		t.Fatalf("droop = %g, want 0.85", got)
+	}
+}
+
+func TestDroopDegenerateInputs(t *testing.T) {
+	d := Droop{R: 0.001}
+	if got := d.Apply(0.95, 0); got != 0.95 {
+		t.Fatalf("zero load drooped: %g", got)
+	}
+	if got := d.Apply(0, 50); got != 0 {
+		t.Fatalf("zero rail drooped: %g", got)
+	}
+	if got := (Droop{R: 0}).Apply(0.95, 50); got != 0.95 {
+		t.Fatalf("zero resistance drooped: %g", got)
+	}
+	// Huge load cannot push the rail negative.
+	if got := d.Apply(0.5, 1e6); got != 0 {
+		t.Fatalf("extreme droop = %g, want clamp at 0", got)
+	}
+}
+
+func TestDroopMonotoneInLoad(t *testing.T) {
+	d := Droop{R: 0.0005}
+	prev := math.Inf(1)
+	for p := 0.0; p <= 200; p += 10 {
+		v := d.Apply(1.0, p)
+		if v > prev+1e-12 {
+			t.Fatalf("droop not monotone at %g W", p)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,298 @@
+// Package sched is the central simulation controller (paper §4.1): the
+// fixed-timestep co-simulation engine that steps the package's voltage
+// regulators, power supply network, chiplet simulators, sensing path and
+// the HCAPP global controller on a common clock, and records the power
+// trace.
+//
+// One engine step, in order:
+//
+//  1. the global VR slews toward its commanded voltage;
+//  2. the PSN delay line propagates the global rail to the domains, with
+//     IR droop from the previous step's load;
+//  3. each domain controller normalizes the rail and steps its chiplet;
+//  4. the summed package power enters the sensing path;
+//  5. on a control-cycle boundary, the global controller reads the
+//     sensed power and commands a new global voltage.
+package sched
+
+import (
+	"fmt"
+
+	"hcapp/internal/core"
+	"hcapp/internal/psn"
+	"hcapp/internal/sim"
+	"hcapp/internal/trace"
+	"hcapp/internal/vr"
+)
+
+// Slot binds a domain controller to the component it powers.
+type Slot struct {
+	Domain *core.Domain
+	Comp   sim.Component
+}
+
+// Supervisor is an optional software-timescale controller invoked on its
+// own period with full engine access — the consumer of the §3.2/§5.3
+// software interface (priority registers). Policies live in
+// internal/swctl; the engine only provides the hook.
+type Supervisor interface {
+	// Period is the supervisor's invocation period (OS timescale,
+	// typically ≥ 1 ms).
+	Period() sim.Time
+	// Tick runs one supervision pass at time now.
+	Tick(now sim.Time, eng *Engine)
+}
+
+// Config assembles an engine.
+type Config struct {
+	DT       sim.Time
+	GlobalVR *vr.Regulator
+	Sensor   *vr.Sensor
+	PSN      *psn.DelayLine
+	Droop    psn.Droop
+	// Global is the level-1 controller; nil runs the fixed-voltage
+	// baseline (the global VR holds its initial voltage forever).
+	Global *core.Global
+	Slots  []Slot
+	// Recorder receives the power trace; required.
+	Recorder *trace.Recorder
+	// TrackComponents mirrors the recorder's per-component tracking.
+	TrackComponents bool
+	// Supervisor, when non-nil, runs on its own period (software
+	// control on top of HCAPP, §5.3/§6).
+	Supervisor Supervisor
+}
+
+// Engine is the central simulation controller.
+type Engine struct {
+	cfg       Config
+	now       sim.Time
+	lastTotal float64
+	nextSup   sim.Time
+	supTicks  int64
+}
+
+// New validates and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	switch {
+	case cfg.DT <= 0:
+		return nil, fmt.Errorf("sched: non-positive timestep %d", cfg.DT)
+	case cfg.GlobalVR == nil:
+		return nil, fmt.Errorf("sched: missing global VR")
+	case cfg.Sensor == nil:
+		return nil, fmt.Errorf("sched: missing sensor")
+	case cfg.PSN == nil:
+		return nil, fmt.Errorf("sched: missing PSN delay line")
+	case len(cfg.Slots) == 0:
+		return nil, fmt.Errorf("sched: no components")
+	case cfg.Recorder == nil:
+		return nil, fmt.Errorf("sched: missing recorder")
+	}
+	for i, s := range cfg.Slots {
+		if s.Domain == nil || s.Comp == nil {
+			return nil, fmt.Errorf("sched: slot %d incomplete", i)
+		}
+	}
+	e := &Engine{cfg: cfg}
+	if cfg.Supervisor != nil {
+		if cfg.Supervisor.Period() <= 0 {
+			return nil, fmt.Errorf("sched: supervisor period must be positive")
+		}
+		e.nextSup = cfg.Supervisor.Period()
+	}
+	return e, nil
+}
+
+// MustNew is New that panics on invalid configuration.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Duration is the simulated span of the run.
+	Duration sim.Time
+	// Completed reports whether every component finished its work
+	// before MaxDuration.
+	Completed bool
+	// Completion maps component name to its completion time (only for
+	// components exposing one and which completed).
+	Completion map[string]sim.Time
+	// ControlCycles is the number of global control actions taken.
+	ControlCycles int64
+}
+
+// completionTimer is implemented by components that record when they
+// finished (the chiplets and the accelerator).
+type completionTimer interface {
+	CompletionTime() sim.Time
+}
+
+// Run advances the simulation until every component is done or maxDur
+// elapses, whichever comes first.
+func (e *Engine) Run(maxDur sim.Time) Result {
+	dt := e.cfg.DT
+	for e.now < maxDur {
+		e.now += dt
+		e.step()
+		if e.allDone() {
+			break
+		}
+	}
+	res := Result{
+		Duration:   e.now,
+		Completed:  e.allDone(),
+		Completion: make(map[string]sim.Time),
+	}
+	if e.cfg.Global != nil {
+		res.ControlCycles = e.cfg.Global.Cycles()
+	}
+	for _, s := range e.cfg.Slots {
+		if ct, ok := s.Comp.(completionTimer); ok {
+			if t := ct.CompletionTime(); t >= 0 {
+				res.Completion[s.Comp.Name()] = t
+			}
+		}
+	}
+	return res
+}
+
+// RunFor advances exactly dur of simulated time regardless of component
+// completion (used for trace generation and tuning).
+func (e *Engine) RunFor(dur sim.Time) {
+	end := e.now + dur
+	for e.now < end {
+		e.now += e.cfg.DT
+		e.step()
+	}
+}
+
+func (e *Engine) step() {
+	now, dt := e.now, e.cfg.DT
+
+	// 1. Global rail.
+	vglobal := e.cfg.GlobalVR.Step(now, dt)
+
+	// 2. Power supply network: transport delay + IR droop from the
+	// previous step's current draw.
+	vrail := e.cfg.PSN.Step(vglobal)
+	vrail = e.cfg.Droop.Apply(vrail, e.lastTotal)
+
+	// 3. Domains and components.
+	total := 0.0
+	if e.cfg.TrackComponents {
+		e.cfg.Recorder.RecordComponent("voltage:rail", vrail)
+	}
+	for _, s := range e.cfg.Slots {
+		vdom := s.Domain.Step(now, dt, vrail)
+		res := s.Comp.Step(now, dt, vdom)
+		total += res.Power
+		if e.cfg.TrackComponents {
+			e.cfg.Recorder.RecordComponent(s.Comp.Name(), res.Power)
+			e.cfg.Recorder.RecordComponent("voltage:"+s.Domain.Name(), vdom)
+		}
+	}
+
+	// The global regulator's conversion loss is package power too: it
+	// flows through the same pins (zero with the default lossless
+	// configuration).
+	total += e.cfg.GlobalVR.Loss(total)
+
+	// 4. Sensing path.
+	e.cfg.Sensor.Push(total)
+
+	// 5. Global control.
+	if e.cfg.Global != nil {
+		e.cfg.Global.Step(now, e.cfg.Sensor.Read(), e.cfg.GlobalVR)
+	}
+
+	e.cfg.Recorder.Record(total)
+	e.lastTotal = total
+
+	// 6. Software supervision (OS timescale).
+	if e.cfg.Supervisor != nil && now >= e.nextSup {
+		e.cfg.Supervisor.Tick(now, e)
+		e.nextSup = now + e.cfg.Supervisor.Period()
+		e.supTicks++
+	}
+}
+
+// SupervisorTicks reports how many supervision passes have run.
+func (e *Engine) SupervisorTicks() int64 { return e.supTicks }
+
+// LastTotalPower returns the package power drawn on the most recent
+// step (telemetry for supervisors).
+func (e *Engine) LastTotalPower() float64 { return e.lastTotal }
+
+func (e *Engine) allDone() bool {
+	for _, s := range e.cfg.Slots {
+		if !s.Comp.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() sim.Time { return e.now }
+
+// Recorder returns the engine's trace recorder.
+func (e *Engine) Recorder() *trace.Recorder { return e.cfg.Recorder }
+
+// Sensor returns the package power sensor (fault injection, tests).
+func (e *Engine) Sensor() *vr.Sensor { return e.cfg.Sensor }
+
+// GlobalController returns the level-1 controller, or nil for the
+// fixed-voltage baseline (dynamic retargeting, tests).
+func (e *Engine) GlobalController() *core.Global { return e.cfg.Global }
+
+// Slots exposes the engine's component slots (for priority experiments
+// and inspection).
+func (e *Engine) Slots() []Slot { return e.cfg.Slots }
+
+// Domain returns the named domain controller, or nil.
+func (e *Engine) Domain(name string) *core.Domain {
+	for _, s := range e.cfg.Slots {
+		if s.Domain.Name() == name {
+			return s.Domain
+		}
+	}
+	return nil
+}
+
+// Component returns the named component, or nil.
+func (e *Engine) Component(name string) sim.Component {
+	for _, s := range e.cfg.Slots {
+		if s.Comp.Name() == name {
+			return s.Comp
+		}
+	}
+	return nil
+}
+
+// Reset rewinds the engine and everything it owns for another run.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.lastTotal = 0
+	e.cfg.GlobalVR.Reset()
+	e.cfg.Sensor.Reset()
+	e.cfg.PSN.Reset()
+	if e.cfg.Global != nil {
+		e.cfg.Global.Reset()
+	}
+	for _, s := range e.cfg.Slots {
+		s.Domain.Reset()
+		if r, ok := s.Comp.(sim.Resetter); ok {
+			r.Reset()
+		}
+	}
+	e.cfg.Recorder.Reset()
+	e.supTicks = 0
+	if e.cfg.Supervisor != nil {
+		e.nextSup = e.cfg.Supervisor.Period()
+	}
+}

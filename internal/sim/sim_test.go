@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatTime(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500µs"},
+		{20 * Microsecond, "20.000µs"},
+		{1 * Millisecond, "1.000ms"},
+		{2500 * Microsecond, "2.500ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := FormatTime(c.in); got != c.want {
+			t.Errorf("FormatTime(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	for _, d := range []Time{0, 1, 999, Microsecond, Millisecond, Second, 123456789} {
+		if got := FromSeconds(Seconds(d)); got != d {
+			t.Errorf("round trip %d -> %d", d, got)
+		}
+	}
+}
+
+func TestSecondsRoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		d := Time(raw)
+		return FromSeconds(Seconds(d)) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondsValues(t *testing.T) {
+	if got := Seconds(1500 * Microsecond); math.Abs(got-0.0015) > 1e-15 {
+		t.Fatalf("Seconds = %g", got)
+	}
+	if got := FromSeconds(1e-6); got != Microsecond {
+		t.Fatalf("FromSeconds(1e-6) = %d", got)
+	}
+}
+
+func TestUnitRelations(t *testing.T) {
+	if Microsecond != 1000*Nanosecond || Millisecond != 1000*Microsecond || Second != 1000*Millisecond {
+		t.Fatal("unit ladder broken")
+	}
+}

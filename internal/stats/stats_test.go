@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestGeomeanBasic(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{2, 8}, 4},
+		{[]float64{4}, 4},
+		{[]float64{1, 4, 16}, 4},
+	}
+	for _, c := range cases {
+		if got := Geomean(c.in...); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Geomean(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeomeanEq3Example(t *testing.T) {
+	// Eq. 3 of the paper: STotal = cbrt(S_CPU * S_GPU * S_Accel).
+	got := Geomean(1.083, 1.054, 1.12)
+	want := math.Cbrt(1.083 * 1.054 * 1.12)
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("Eq. 3 mismatch: %g vs %g", got, want)
+	}
+}
+
+func TestGeomeanRejectsNonPositive(t *testing.T) {
+	for _, in := range [][]float64{{}, {0}, {-1, 2}, {1, math.NaN()}} {
+		if got := Geomean(in...); !math.IsNaN(got) {
+			t.Errorf("Geomean(%v) = %g, want NaN", in, got)
+		}
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := Geomean(xs...)
+		return g >= Min(xs...)-1e-9 && g <= Max(xs...)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeomeanLeqArithmeticMean(t *testing.T) {
+	// AM-GM inequality.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return Geomean(xs...) <= Mean(xs...)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(1, 2, 3, 4); got != 2.5 {
+		t.Fatalf("Mean = %g, want 2.5", got)
+	}
+	if !math.IsNaN(Mean()) {
+		t.Fatal("Mean() of empty should be NaN")
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if got := Max(3, -1, 7, 2); got != 7 {
+		t.Fatalf("Max = %g", got)
+	}
+	if got := Min(3, -1, 7, 2); got != -1 {
+		t.Fatalf("Min = %g", got)
+	}
+	if !math.IsInf(Max(), -1) {
+		t.Fatal("Max() of empty should be -Inf")
+	}
+	if !math.IsInf(Min(), 1) {
+		t.Fatal("Min() of empty should be +Inf")
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum(1, 2, 3); got != 6 {
+		t.Fatalf("Sum = %g", got)
+	}
+	if got := Sum(); got != 0 {
+		t.Fatalf("Sum() = %g, want 0", got)
+	}
+}
+
+func TestVarianceStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs...); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("Variance = %g, want 4", got)
+	}
+	if got := Stddev(xs...); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("Stddev = %g, want 2", got)
+	}
+	if got := Variance(5); got != 0 {
+		t.Fatalf("Variance of single = %g, want 0", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%g): %v", c.p, err)
+		}
+		if !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Fatal("expected error for p < 0")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Fatal("expected error for p > 100")
+	}
+}
+
+func TestPercentileSingleElement(t *testing.T) {
+	got, err := Percentile([]float64{42}, 99)
+	if err != nil || got != 42 {
+		t.Fatalf("Percentile single = %g, %v", got, err)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5}, {-1, 0, 10, 0}, {11, 0, 10, 10}, {0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%g,%g,%g) = %g, want %g", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(x, a, b float64) bool {
+		if math.IsNaN(x) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := Clamp(x, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatalf("empty summary N = %d", empty.N)
+	}
+}

@@ -1,0 +1,293 @@
+// Package swctl implements the software control layer on top of HCAPP —
+// the consumer of the domain controllers' priority registers (§3.2) and
+// the direction the paper's §6 future work points at:
+//
+//	"Software-based control can allow proactive or predictive control
+//	beyond the reactive control that HCAPP implements. The software
+//	controllers provide a way to use centralized information to
+//	proactively adjust HCAPP parameters ... For example, the CPU begins
+//	to send work to the GPU and the software detects this. Then, the
+//	software controller reduces the HCAPP CPU domain voltage ratio
+//	(priority) and increases the GPU domain voltage ratio."
+//
+// A Supervisor samples package telemetry on an OS timescale (≥1 ms) and
+// writes priority registers according to a pluggable Policy:
+//
+//   - Static reproduces the §5.3 proof-of-concept (one component
+//     prioritized for the whole run);
+//   - ProgressBalancer shifts priority toward the component furthest
+//     from finishing, so the package completes as a unit (power
+//     shifting);
+//   - CriticalPath projects completion times from observed progress
+//     rates and prioritizes the projected-last finisher — the
+//     "better intelligence in the software control" the paper expects
+//     to unlock further speedups.
+//
+// All policies act ONLY through the architected software interface —
+// priority registers — never by touching hardware controller state, so
+// the power limit remains HCAPP's responsibility.
+package swctl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hcapp/internal/sched"
+	"hcapp/internal/sim"
+)
+
+// Telemetry is the software-visible snapshot of the package, gathered
+// once per supervision tick.
+type Telemetry struct {
+	Now sim.Time
+	// Power is each managed component's last-step power draw, watts.
+	Power map[string]float64
+	// Progress is each managed component's work-completion fraction.
+	Progress map[string]float64
+	// DomainV is each managed domain's delivered voltage.
+	DomainV map[string]float64
+	// TotalPower is the package draw, watts.
+	TotalPower float64
+}
+
+// Policy decides priority register values from telemetry. Returned maps
+// may cover any subset of the managed domains; omitted domains keep
+// their current priority.
+type Policy interface {
+	Name() string
+	Decide(t Telemetry) map[string]float64
+}
+
+// Supervisor wires a Policy to the engine's supervision hook.
+type Supervisor struct {
+	policy  Policy
+	period  sim.Time
+	domains []string
+	ticks   int64
+}
+
+// New builds a supervisor managing the named domains.
+func New(policy Policy, period sim.Time, domains []string) (*Supervisor, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("swctl: nil policy")
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("swctl: non-positive period %d", period)
+	}
+	if len(domains) == 0 {
+		return nil, fmt.Errorf("swctl: no domains to manage")
+	}
+	return &Supervisor{
+		policy:  policy,
+		period:  period,
+		domains: append([]string(nil), domains...),
+	}, nil
+}
+
+// MustNew is New that panics on invalid input.
+func MustNew(policy Policy, period sim.Time, domains []string) *Supervisor {
+	s, err := New(policy, period, domains)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Period implements sched.Supervisor.
+func (s *Supervisor) Period() sim.Time { return s.period }
+
+// Ticks reports the number of supervision passes taken.
+func (s *Supervisor) Ticks() int64 { return s.ticks }
+
+// Policy returns the active policy.
+func (s *Supervisor) Policy() Policy { return s.policy }
+
+// powerReporter is implemented by components exposing last-step power.
+type powerReporter interface{ LastPower() float64 }
+
+// Tick implements sched.Supervisor: gather telemetry, run the policy,
+// write priority registers.
+func (s *Supervisor) Tick(now sim.Time, eng *sched.Engine) {
+	t := Telemetry{
+		Now:        now,
+		Power:      make(map[string]float64, len(s.domains)),
+		Progress:   make(map[string]float64, len(s.domains)),
+		DomainV:    make(map[string]float64, len(s.domains)),
+		TotalPower: eng.LastTotalPower(),
+	}
+	for _, name := range s.domains {
+		comp := eng.Component(name)
+		if comp == nil {
+			continue
+		}
+		t.Progress[name] = comp.Progress()
+		if pr, ok := comp.(powerReporter); ok {
+			t.Power[name] = pr.LastPower()
+		}
+		if d := eng.Domain(name); d != nil {
+			t.DomainV[name] = d.Output()
+		}
+	}
+	for name, prio := range s.policy.Decide(t) {
+		if d := eng.Domain(name); d != nil {
+			d.SetPriority(prio)
+		}
+	}
+	s.ticks++
+}
+
+// Static is the §5.3 proof-of-concept policy: one component holds full
+// priority; all other managed domains run de-prioritized.
+type Static struct {
+	// Component is the prioritized domain name.
+	Component string
+	// Others is the priority applied to every other managed domain
+	// (paper: 0.9). Zero defaults to 0.9.
+	Others float64
+}
+
+// Name implements Policy.
+func (p Static) Name() string { return "static-" + p.Component }
+
+// Decide implements Policy.
+func (p Static) Decide(t Telemetry) map[string]float64 {
+	others := p.Others
+	if others == 0 {
+		others = 0.9
+	}
+	out := make(map[string]float64, len(t.Progress))
+	for name := range t.Progress {
+		if name == p.Component {
+			out[name] = 1.0
+		} else {
+			out[name] = others
+		}
+	}
+	return out
+}
+
+// ProgressBalancer shifts priority toward components that are behind in
+// progress, so the heterogeneous package finishes together instead of
+// leaving one chiplet grinding alone at the end.
+type ProgressBalancer struct {
+	// Gain converts a progress deficit into a priority reduction for
+	// the leaders. Zero defaults to 0.5.
+	Gain float64
+	// Floor bounds the de-prioritization. Zero defaults to 0.85.
+	Floor float64
+}
+
+// Name implements Policy.
+func (p ProgressBalancer) Name() string { return "progress-balancer" }
+
+// Decide implements Policy.
+func (p ProgressBalancer) Decide(t Telemetry) map[string]float64 {
+	gain := p.Gain
+	if gain == 0 {
+		gain = 0.5
+	}
+	floor := p.Floor
+	if floor == 0 {
+		floor = 0.85
+	}
+	minProg := math.Inf(1)
+	for _, prog := range t.Progress {
+		if prog < minProg {
+			minProg = prog
+		}
+	}
+	if math.IsInf(minProg, 1) {
+		return nil
+	}
+	out := make(map[string]float64, len(t.Progress))
+	for name, prog := range t.Progress {
+		prio := 1.0 - gain*(prog-minProg)
+		if prio < floor {
+			prio = floor
+		}
+		out[name] = prio
+	}
+	return out
+}
+
+// CriticalPath estimates each component's completion time from its
+// observed progress rate and gives full priority to the projected-last
+// finisher, de-prioritizing the rest — proactive control using
+// centralized information (§6).
+type CriticalPath struct {
+	// Others is the priority for non-critical domains; zero → 0.9.
+	Others float64
+
+	prev     map[string]float64
+	prevTime sim.Time
+}
+
+// Name implements Policy.
+func (p *CriticalPath) Name() string { return "critical-path" }
+
+// Decide implements Policy.
+func (p *CriticalPath) Decide(t Telemetry) map[string]float64 {
+	others := p.Others
+	if others == 0 {
+		others = 0.9
+	}
+	defer func() {
+		if p.prev == nil {
+			p.prev = make(map[string]float64)
+		}
+		for name, prog := range t.Progress {
+			p.prev[name] = prog
+		}
+		p.prevTime = t.Now
+	}()
+
+	if p.prev == nil || t.Now <= p.prevTime {
+		return nil // need two samples for a rate
+	}
+	dtSec := sim.Seconds(t.Now - p.prevTime)
+
+	critical, worst := "", -1.0
+	names := make([]string, 0, len(t.Progress))
+	for name := range t.Progress {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic tie-breaking
+	for _, name := range names {
+		prog := t.Progress[name]
+		if prog >= 1 {
+			continue // finished components have no remaining path
+		}
+		rate := (prog - p.prev[name]) / dtSec
+		var eta float64
+		if rate <= 0 {
+			eta = math.Inf(1) // stalled: automatically critical
+		} else {
+			eta = (1 - prog) / rate
+		}
+		if eta > worst {
+			worst, critical = eta, name
+		}
+	}
+	if critical == "" {
+		return nil
+	}
+	out := make(map[string]float64, len(t.Progress))
+	for _, name := range names {
+		if name == critical {
+			out[name] = 1.0
+		} else {
+			out[name] = others
+		}
+	}
+	return out
+}
+
+// Neutral is a no-op policy (useful as a control in experiments).
+type Neutral struct{}
+
+// Name implements Policy.
+func (Neutral) Name() string { return "neutral" }
+
+// Decide implements Policy.
+func (Neutral) Decide(Telemetry) map[string]float64 { return nil }

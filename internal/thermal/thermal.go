@@ -1,0 +1,134 @@
+// Package thermal models per-chiplet junction temperature and the local
+// thermal protection the paper's level-3 controllers carry (§3.3):
+//
+//	"The local controller also monitors the component for any thermal
+//	effects using local thermal sensors. ... If thermal effects did
+//	exist throughout the workload, the local controller would reduce
+//	the local voltage at the affected component to prevent failure."
+//
+// The model is the standard first-order RC network: a junction with
+// thermal resistance Rth to ambient and time constant tau. The paper
+// "assume[s] that the system is operating below the thermal limit at all
+// times through careful selection of the power limit" (§3.5), so the
+// default configuration never trips during the evaluation — the tests
+// verify both that assumption and that protection engages when it is
+// violated.
+package thermal
+
+import (
+	"fmt"
+
+	"hcapp/internal/sim"
+)
+
+// Config parameterizes one thermal node.
+type Config struct {
+	// RthKperW is the junction-to-ambient thermal resistance (K/W).
+	RthKperW float64
+	// Tau is the thermal time constant; temperature approaches its
+	// steady state exponentially with this constant.
+	Tau sim.Time
+	// AmbientC is the ambient (and initial junction) temperature, °C.
+	AmbientC float64
+	// TripC engages thermal protection when the junction exceeds it.
+	TripC float64
+	// HystC is the hysteresis: protection releases only once the
+	// junction falls below TripC − HystC, preventing throttle chatter.
+	HystC float64
+}
+
+// Validate reports whether the configuration is physical.
+func (c Config) Validate() error {
+	switch {
+	case c.RthKperW <= 0:
+		return fmt.Errorf("thermal: non-positive Rth %g", c.RthKperW)
+	case c.Tau <= 0:
+		return fmt.Errorf("thermal: non-positive tau %d", c.Tau)
+	case c.TripC <= c.AmbientC:
+		return fmt.Errorf("thermal: trip %g not above ambient %g", c.TripC, c.AmbientC)
+	case c.HystC < 0:
+		return fmt.Errorf("thermal: negative hysteresis %g", c.HystC)
+	case c.HystC >= c.TripC-c.AmbientC:
+		return fmt.Errorf("thermal: hysteresis %g swallows the whole trip margin", c.HystC)
+	}
+	return nil
+}
+
+// DefaultChiplet returns a chiplet-scale thermal node: with the
+// evaluation's per-chiplet power (≲60 W) and 0.45 K/W the junction stays
+// ≤72 °C, below the 85 °C trip — the paper's below-TDP assumption.
+func DefaultChiplet() Config {
+	return Config{
+		RthKperW: 0.45,
+		Tau:      2 * sim.Millisecond,
+		AmbientC: 45,
+		TripC:    85,
+		HystC:    5,
+	}
+}
+
+// Node is one first-order thermal node with trip/hysteresis state.
+type Node struct {
+	cfg     Config
+	tempC   float64
+	tripped bool
+	peakC   float64
+}
+
+// NewNode builds a node at ambient temperature.
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Node{cfg: cfg, tempC: cfg.AmbientC, peakC: cfg.AmbientC}, nil
+}
+
+// MustNode is NewNode that panics on invalid configuration.
+func MustNode(cfg Config) *Node {
+	n, err := NewNode(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Step advances the node by dt under the given power draw and returns
+// the junction temperature. The steady-state temperature for constant
+// power P is Ambient + P·Rth.
+func (n *Node) Step(dt sim.Time, watts float64) float64 {
+	if watts < 0 {
+		watts = 0
+	}
+	steady := n.cfg.AmbientC + watts*n.cfg.RthKperW
+	alpha := float64(dt) / float64(n.cfg.Tau+dt)
+	n.tempC += alpha * (steady - n.tempC)
+	if n.tempC > n.peakC {
+		n.peakC = n.tempC
+	}
+	// Trip with hysteresis.
+	if n.tempC >= n.cfg.TripC {
+		n.tripped = true
+	} else if n.tripped && n.tempC < n.cfg.TripC-n.cfg.HystC {
+		n.tripped = false
+	}
+	return n.tempC
+}
+
+// Temp returns the current junction temperature, °C.
+func (n *Node) Temp() float64 { return n.tempC }
+
+// Peak returns the maximum junction temperature seen, °C.
+func (n *Node) Peak() float64 { return n.peakC }
+
+// Tripped reports whether thermal protection is engaged.
+func (n *Node) Tripped() bool { return n.tripped }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Reset returns the node to ambient.
+func (n *Node) Reset() {
+	n.tempC = n.cfg.AmbientC
+	n.peakC = n.cfg.AmbientC
+	n.tripped = false
+}

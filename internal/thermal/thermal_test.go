@@ -1,0 +1,192 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hcapp/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultChiplet().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero rth", func(c *Config) { c.RthKperW = 0 }},
+		{"zero tau", func(c *Config) { c.Tau = 0 }},
+		{"trip below ambient", func(c *Config) { c.TripC = c.AmbientC - 1 }},
+		{"negative hysteresis", func(c *Config) { c.HystC = -1 }},
+		{"hysteresis swallows margin", func(c *Config) { c.HystC = c.TripC - c.AmbientC }},
+	}
+	for _, c := range cases {
+		cfg := DefaultChiplet()
+		c.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestMustNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNode did not panic")
+		}
+	}()
+	MustNode(Config{})
+}
+
+func TestStartsAtAmbient(t *testing.T) {
+	n := MustNode(DefaultChiplet())
+	if n.Temp() != 45 {
+		t.Fatalf("initial temp %g", n.Temp())
+	}
+	if n.Tripped() {
+		t.Fatal("tripped at ambient")
+	}
+}
+
+func TestSteadyStateTemperature(t *testing.T) {
+	cfg := DefaultChiplet()
+	n := MustNode(cfg)
+	// 50 W · 0.45 K/W + 45 = 67.5 °C.
+	for i := 0; i < 100000; i++ {
+		n.Step(1000, 50)
+	}
+	want := cfg.AmbientC + 50*cfg.RthKperW
+	if math.Abs(n.Temp()-want) > 0.1 {
+		t.Fatalf("steady temp %g, want %g", n.Temp(), want)
+	}
+}
+
+func TestTimeConstant(t *testing.T) {
+	cfg := DefaultChiplet()
+	n := MustNode(cfg)
+	// After one tau of constant power, the node reaches ~63.2 % of the
+	// step.
+	steps := int(cfg.Tau / 1000)
+	for i := 0; i < steps; i++ {
+		n.Step(1000, 50)
+	}
+	rise := n.Temp() - cfg.AmbientC
+	want := 0.632 * 50 * cfg.RthKperW
+	if math.Abs(rise-want) > 1.5 {
+		t.Fatalf("rise after tau = %g, want ≈%g", rise, want)
+	}
+}
+
+func TestBelowTDPNeverTrips(t *testing.T) {
+	// The paper's §3.5 assumption: at evaluation power levels the
+	// thermal limit is never reached.
+	n := MustNode(DefaultChiplet())
+	for i := 0; i < 200000; i++ {
+		n.Step(1000, 60) // well above any per-chiplet average we run
+	}
+	if n.Tripped() {
+		t.Fatalf("tripped at 60 W (%g °C): below-TDP assumption violated", n.Temp())
+	}
+	if n.Peak() >= 85 {
+		t.Fatalf("peak %g reached trip level", n.Peak())
+	}
+}
+
+func TestTripAndHysteresis(t *testing.T) {
+	n := MustNode(DefaultChiplet())
+	// 120 W → steady 99 °C: must trip.
+	for i := 0; i < 200000 && !n.Tripped(); i++ {
+		n.Step(1000, 120)
+	}
+	if !n.Tripped() {
+		t.Fatal("never tripped at 120 W")
+	}
+	// Cooling just below the trip point must NOT release (hysteresis).
+	for n.Temp() > 84 {
+		n.Step(1000, 80) // steady 81 °C, just below trip
+	}
+	if !n.Tripped() {
+		t.Fatal("released inside the hysteresis band")
+	}
+	// Cooling below trip − hysteresis releases.
+	for n.Temp() >= 80 {
+		n.Step(1000, 60)
+	}
+	n.Step(1000, 60)
+	if n.Tripped() {
+		t.Fatalf("still tripped at %g °C", n.Temp())
+	}
+}
+
+func TestPeakTracksMaximum(t *testing.T) {
+	n := MustNode(DefaultChiplet())
+	for i := 0; i < 50000; i++ {
+		n.Step(1000, 100)
+	}
+	hot := n.Temp()
+	for i := 0; i < 50000; i++ {
+		n.Step(1000, 0)
+	}
+	if n.Peak() < hot {
+		t.Fatalf("peak %g below observed %g", n.Peak(), hot)
+	}
+	if n.Temp() >= hot {
+		t.Fatal("node did not cool")
+	}
+}
+
+func TestNegativePowerClamped(t *testing.T) {
+	n := MustNode(DefaultChiplet())
+	for i := 0; i < 100000; i++ {
+		n.Step(1000, -50)
+	}
+	if n.Temp() < DefaultChiplet().AmbientC-0.01 {
+		t.Fatalf("cooled below ambient: %g", n.Temp())
+	}
+}
+
+func TestReset(t *testing.T) {
+	n := MustNode(DefaultChiplet())
+	for i := 0; i < 100000; i++ {
+		n.Step(1000, 150)
+	}
+	n.Reset()
+	if n.Temp() != 45 || n.Tripped() || n.Peak() != 45 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestTemperatureBoundedProperty(t *testing.T) {
+	// Temperature always stays within [ambient, ambient + P·Rth] for
+	// any constant power level.
+	cfg := DefaultChiplet()
+	f := func(powRaw uint16, stepsRaw uint8) bool {
+		n := MustNode(cfg)
+		p := float64(powRaw) / 655.35 // 0..100 W
+		steps := int(stepsRaw) + 1
+		for i := 0; i < steps; i++ {
+			temp := n.Step(sim.Microsecond, p)
+			if temp < cfg.AmbientC-1e-9 || temp > cfg.AmbientC+p*cfg.RthKperW+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTemperatureMonotoneTowardSteady(t *testing.T) {
+	n := MustNode(DefaultChiplet())
+	prev := n.Temp()
+	for i := 0; i < 1000; i++ {
+		cur := n.Step(sim.Microsecond, 70)
+		if cur < prev-1e-12 {
+			t.Fatal("heating not monotone under constant power")
+		}
+		prev = cur
+	}
+}

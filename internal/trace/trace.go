@@ -1,0 +1,222 @@
+// Package trace records per-step package power during a run and computes
+// the power-limit metrics of the paper's evaluation: the maximum power
+// over a sliding time window (the form every power limit takes, §1), the
+// Provisioned Power Efficiency (Eq. 4), and down-sampled series for the
+// Fig. 1 / Fig. 2 style plots.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"hcapp/internal/sim"
+)
+
+// Recorder accumulates one power sample per engine step.
+type Recorder struct {
+	dt      sim.Time
+	total   []float64
+	byComp  map[string][]float64
+	track   bool
+	prefix  []float64 // lazy prefix sums over total
+	prefixN int
+}
+
+// NewRecorder returns a recorder for steps of dt. trackComponents enables
+// per-component series (used by the trace tool; costs memory).
+func NewRecorder(dt sim.Time, trackComponents bool) (*Recorder, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("trace: non-positive timestep %d", dt)
+	}
+	r := &Recorder{dt: dt, track: trackComponents}
+	if trackComponents {
+		r.byComp = make(map[string][]float64)
+	}
+	return r, nil
+}
+
+// MustRecorder is NewRecorder that panics on invalid input.
+func MustRecorder(dt sim.Time, trackComponents bool) *Recorder {
+	r, err := NewRecorder(dt, trackComponents)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Record appends one step's total package power.
+func (r *Recorder) Record(total float64) {
+	r.total = append(r.total, total)
+}
+
+// RecordComponent appends one step's power for a named component. Call
+// once per component per step when tracking is enabled.
+func (r *Recorder) RecordComponent(name string, p float64) {
+	if !r.track {
+		return
+	}
+	r.byComp[name] = append(r.byComp[name], p)
+}
+
+// Steps returns the number of recorded steps.
+func (r *Recorder) Steps() int { return len(r.total) }
+
+// Duration returns the recorded span.
+func (r *Recorder) Duration() sim.Time { return sim.Time(len(r.total)) * r.dt }
+
+// DT returns the recorder's timestep.
+func (r *Recorder) DT() sim.Time { return r.dt }
+
+// ensurePrefix (re)builds prefix sums to cover all samples.
+func (r *Recorder) ensurePrefix() {
+	if r.prefixN == len(r.total) && len(r.prefix) == len(r.total)+1 {
+		return
+	}
+	if len(r.prefix) == 0 {
+		r.prefix = make([]float64, 1, len(r.total)+1)
+	}
+	for i := r.prefixN; i < len(r.total); i++ {
+		r.prefix = append(r.prefix, r.prefix[i]+r.total[i])
+	}
+	r.prefixN = len(r.total)
+}
+
+// AvgPower returns the run's average package power.
+func (r *Recorder) AvgPower() float64 {
+	if len(r.total) == 0 {
+		return 0
+	}
+	r.ensurePrefix()
+	return r.prefix[len(r.total)] / float64(len(r.total))
+}
+
+// PPE returns the Provisioned Power Efficiency (Eq. 4): average power
+// divided by the provisioned power.
+func (r *Recorder) PPE(provisionedWatts float64) float64 {
+	if provisionedWatts <= 0 {
+		return math.NaN()
+	}
+	return r.AvgPower() / provisionedWatts
+}
+
+// MaxWindowAvg returns the maximum over the run of the power averaged
+// over a sliding window. Runs shorter than the window are averaged whole.
+// This is the quantity a power limit constrains: "power limits dictate a
+// maximum power and a time window over which that maximum power is
+// evaluated".
+func (r *Recorder) MaxWindowAvg(window sim.Time) float64 {
+	n := len(r.total)
+	if n == 0 {
+		return 0
+	}
+	k := int(window / r.dt)
+	if k < 1 {
+		k = 1
+	}
+	r.ensurePrefix()
+	if k >= n {
+		return r.prefix[n] / float64(n)
+	}
+	maxAvg := math.Inf(-1)
+	kf := float64(k)
+	for i := k; i <= n; i++ {
+		avg := (r.prefix[i] - r.prefix[i-k]) / kf
+		if avg > maxAvg {
+			maxAvg = avg
+		}
+	}
+	return maxAvg
+}
+
+// Violates reports whether the run exceeded limitWatts over the window.
+func (r *Recorder) Violates(limitWatts float64, window sim.Time) bool {
+	return r.MaxWindowAvg(window) > limitWatts
+}
+
+// Point is one sample of a down-sampled series.
+type Point struct {
+	T sim.Time
+	P float64
+}
+
+// Series returns the total-power trace averaged into buckets of
+// sampleEvery — the raw data behind Fig. 1.
+func (r *Recorder) Series(sampleEvery sim.Time) []Point {
+	k := int(sampleEvery / r.dt)
+	if k < 1 {
+		k = 1
+	}
+	r.ensurePrefix()
+	var out []Point
+	for i := k; i <= len(r.total); i += k {
+		avg := (r.prefix[i] - r.prefix[i-k]) / float64(k)
+		out = append(out, Point{T: sim.Time(i) * r.dt, P: avg})
+	}
+	return out
+}
+
+// WindowSeries returns the trailing moving average over window, sampled
+// every sampleEvery — the Fig. 2 view ("the power draw over different
+// time windows").
+func (r *Recorder) WindowSeries(window, sampleEvery sim.Time) []Point {
+	k := int(window / r.dt)
+	if k < 1 {
+		k = 1
+	}
+	s := int(sampleEvery / r.dt)
+	if s < 1 {
+		s = 1
+	}
+	r.ensurePrefix()
+	var out []Point
+	for i := k; i <= len(r.total); i += s {
+		avg := (r.prefix[i] - r.prefix[i-k]) / float64(k)
+		out = append(out, Point{T: sim.Time(i) * r.dt, P: avg})
+	}
+	return out
+}
+
+// ComponentSeries returns a component's down-sampled series, or nil if
+// tracking was disabled or the name unknown.
+func (r *Recorder) ComponentSeries(name string, sampleEvery sim.Time) []Point {
+	if !r.track {
+		return nil
+	}
+	samples, ok := r.byComp[name]
+	if !ok {
+		return nil
+	}
+	k := int(sampleEvery / r.dt)
+	if k < 1 {
+		k = 1
+	}
+	var out []Point
+	sum := 0.0
+	for i, p := range samples {
+		sum += p
+		if (i+1)%k == 0 {
+			out = append(out, Point{T: sim.Time(i+1) * r.dt, P: sum / float64(k)})
+			sum = 0
+		}
+	}
+	return out
+}
+
+// ComponentNames lists tracked components.
+func (r *Recorder) ComponentNames() []string {
+	names := make([]string, 0, len(r.byComp))
+	for n := range r.byComp {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Reset clears all samples for reuse.
+func (r *Recorder) Reset() {
+	r.total = r.total[:0]
+	r.prefix = r.prefix[:0]
+	r.prefixN = 0
+	if r.track {
+		r.byComp = make(map[string][]float64)
+	}
+}

@@ -1,0 +1,152 @@
+package vr
+
+import (
+	"math"
+	"testing"
+
+	"hcapp/internal/sim"
+)
+
+func TestSensorConfigValidate(t *testing.T) {
+	if err := (SensorConfig{Delay: 60, FilterTau: 200}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := (SensorConfig{Delay: -1}).Validate(); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if err := (SensorConfig{FilterTau: -1}).Validate(); err == nil {
+		t.Fatal("negative tau accepted")
+	}
+}
+
+func TestNewSensorErrors(t *testing.T) {
+	if _, err := NewSensor(SensorConfig{}, 0); err == nil {
+		t.Fatal("zero timestep accepted")
+	}
+	if _, err := NewSensor(SensorConfig{Delay: -5}, 100); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestMustSensorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSensor did not panic")
+		}
+	}()
+	MustSensor(SensorConfig{}, 0)
+}
+
+func TestSensorDelay(t *testing.T) {
+	// 500 ns delay at 100 ns steps → 5 samples in flight.
+	s := MustSensor(SensorConfig{Delay: 500}, 100)
+	for i := 0; i < 5; i++ {
+		s.Push(42)
+		if got := s.Read(); got != 0 {
+			t.Fatalf("sample emerged after %d pushes: %g", i+1, got)
+		}
+	}
+	s.Push(42)
+	if got := s.Read(); got != 42 {
+		t.Fatalf("delayed sample = %g, want 42", got)
+	}
+}
+
+func TestSensorZeroDelayImmediate(t *testing.T) {
+	s := MustSensor(SensorConfig{Delay: 0}, 100)
+	s.Push(17)
+	if got := s.Read(); got != 17 {
+		t.Fatalf("zero-delay read = %g, want 17", got)
+	}
+}
+
+func TestSensorSubStepDelayRoundsDown(t *testing.T) {
+	s := MustSensor(SensorConfig{Delay: 60}, 100)
+	s.Push(9)
+	if got := s.Read(); got != 9 {
+		t.Fatalf("sub-step delay read = %g, want 9", got)
+	}
+}
+
+func TestSensorFilterSmooths(t *testing.T) {
+	s := MustSensor(SensorConfig{Delay: 0, FilterTau: 400}, 100)
+	s.Push(100) // primes the filter
+	if got := s.Read(); got != 100 {
+		t.Fatalf("priming read = %g", got)
+	}
+	s.Push(0)
+	got := s.Read()
+	if got <= 0 || got >= 100 {
+		t.Fatalf("filtered read = %g, want strictly between 0 and 100", got)
+	}
+	// Converges toward the input.
+	for i := 0; i < 100; i++ {
+		s.Push(0)
+	}
+	if got := s.Read(); math.Abs(got) > 0.1 {
+		t.Fatalf("filter did not converge: %g", got)
+	}
+}
+
+func TestSensorFilterTimeConstant(t *testing.T) {
+	// After tau seconds, a first-order filter reaches ~63.2 % of a step.
+	dt := sim.Time(100)
+	tau := sim.Time(1000) // 10 steps
+	s := MustSensor(SensorConfig{Delay: 0, FilterTau: tau}, dt)
+	s.Push(0) // prime at 0
+	for i := 0; i < 10; i++ {
+		s.Push(1)
+	}
+	got := s.Read()
+	if math.Abs(got-0.632) > 0.07 {
+		t.Fatalf("step response after tau = %g, want ~0.632", got)
+	}
+}
+
+func TestSensorReset(t *testing.T) {
+	s := MustSensor(SensorConfig{Delay: 300, FilterTau: 200}, 100)
+	for i := 0; i < 10; i++ {
+		s.Push(50)
+	}
+	s.Reset()
+	if got := s.Read(); got != 0 {
+		t.Fatalf("post-reset read = %g", got)
+	}
+	s.Push(10)
+	if got := s.Read(); got != 0 {
+		t.Fatalf("post-reset pipeline leaked: %g", got)
+	}
+}
+
+func TestSensorFaultInjection(t *testing.T) {
+	s := MustSensor(SensorConfig{}, 100)
+	s.Push(80)
+	if got := s.Read(); got != 80 {
+		t.Fatalf("healthy read = %g", got)
+	}
+	// Optimistic gain under-reports.
+	s.InjectFault(Fault{Gain: 0.8})
+	if got := s.Read(); math.Abs(got-64) > 1e-12 {
+		t.Fatalf("gain-faulted read = %g, want 64", got)
+	}
+	// Bias.
+	s.InjectFault(Fault{OffsetW: -10})
+	if got := s.Read(); math.Abs(got-70) > 1e-12 {
+		t.Fatalf("offset-faulted read = %g, want 70", got)
+	}
+	// Stuck-at freezes regardless of input.
+	s.InjectFault(Fault{StuckAt: 42, StuckEnabled: true})
+	s.Push(500)
+	if got := s.Read(); got != 42 {
+		t.Fatalf("stuck read = %g", got)
+	}
+	if !s.Fault().StuckEnabled {
+		t.Fatal("fault not retained")
+	}
+	// Reset clears the fault.
+	s.Reset()
+	s.Push(30)
+	if got := s.Read(); got != 30 {
+		t.Fatalf("post-reset read = %g", got)
+	}
+}

@@ -1,0 +1,208 @@
+package vr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hcapp/internal/sim"
+)
+
+func regCfg() RegulatorConfig {
+	return RegulatorConfig{
+		VMin: 0.6, VMax: 1.2, VInit: 0.95,
+		TransitionTime: 150, SlewRate: 5e6,
+	}
+}
+
+func TestRegulatorConfigValidate(t *testing.T) {
+	if err := regCfg().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*RegulatorConfig)
+	}{
+		{"empty range", func(c *RegulatorConfig) { c.VMin, c.VMax = 1, 1 }},
+		{"init below range", func(c *RegulatorConfig) { c.VInit = 0.1 }},
+		{"init above range", func(c *RegulatorConfig) { c.VInit = 2 }},
+		{"negative transition", func(c *RegulatorConfig) { c.TransitionTime = -1 }},
+		{"negative slew", func(c *RegulatorConfig) { c.SlewRate = -1 }},
+	}
+	for _, c := range cases {
+		cfg := regCfg()
+		c.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestMustRegulatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegulator did not panic")
+		}
+	}()
+	cfg := regCfg()
+	cfg.VMin = cfg.VMax
+	MustRegulator(cfg)
+}
+
+func TestRegulatorInitialOutput(t *testing.T) {
+	r := MustRegulator(regCfg())
+	if r.Output() != 0.95 {
+		t.Fatalf("initial output %g", r.Output())
+	}
+	if got := r.Step(100, 100); got != 0.95 {
+		t.Fatalf("uncommanded step moved output to %g", got)
+	}
+}
+
+func TestCommandClamping(t *testing.T) {
+	r := MustRegulator(regCfg())
+	r.Command(0, 5.0)
+	for now := sim.Time(100); now <= 2000; now += 100 {
+		r.Step(now, 100)
+	}
+	if got := r.Output(); got != 1.2 {
+		t.Fatalf("over-range command settled at %g, want VMax 1.2", got)
+	}
+	r.Command(2000, 0.0)
+	for now := sim.Time(2100); now <= 4000; now += 100 {
+		r.Step(now, 100)
+	}
+	if got := r.Output(); got != 0.6 {
+		t.Fatalf("under-range command settled at %g, want VMin 0.6", got)
+	}
+}
+
+func TestTransitionDelay(t *testing.T) {
+	r := MustRegulator(regCfg())
+	r.Command(0, 1.1)
+	// Before the 150 ns transition lands, output must hold.
+	if got := r.Step(100, 100); got != 0.95 {
+		t.Fatalf("output moved before transition time: %g", got)
+	}
+	// At/after 150 ns the target takes effect and slews.
+	got := r.Step(200, 100)
+	if got <= 0.95 {
+		t.Fatalf("output did not move after transition: %g", got)
+	}
+}
+
+func TestSlewLimiting(t *testing.T) {
+	cfg := regCfg()
+	cfg.TransitionTime = 0
+	cfg.SlewRate = 1e6 // 1 V per µs → 0.1 V per 100 ns step
+	r := MustRegulator(cfg)
+	r.Command(0, 1.15)
+	got := r.Step(100, 100)
+	if math.Abs(got-1.05) > 1e-9 {
+		t.Fatalf("first slewed step %g, want 1.05", got)
+	}
+	got = r.Step(200, 100)
+	if math.Abs(got-1.15) > 1e-9 {
+		t.Fatalf("second slewed step %g, want 1.15", got)
+	}
+	// Settled: further steps hold.
+	if got = r.Step(300, 100); got != 1.15 {
+		t.Fatalf("settled output moved: %g", got)
+	}
+}
+
+func TestSlewLimitingDownward(t *testing.T) {
+	cfg := regCfg()
+	cfg.TransitionTime = 0
+	cfg.SlewRate = 1e6
+	r := MustRegulator(cfg)
+	r.Command(0, 0.65)
+	got := r.Step(100, 100)
+	if math.Abs(got-0.85) > 1e-9 {
+		t.Fatalf("first downward step %g, want 0.85", got)
+	}
+}
+
+func TestInstantSettlingWithZeroSlew(t *testing.T) {
+	cfg := regCfg()
+	cfg.TransitionTime = 0
+	cfg.SlewRate = 0
+	r := MustRegulator(cfg)
+	r.Command(0, 1.1)
+	if got := r.Step(100, 100); got != 1.1 {
+		t.Fatalf("zero-slew output %g, want 1.1", got)
+	}
+}
+
+func TestNewCommandSupersedes(t *testing.T) {
+	cfg := regCfg()
+	cfg.TransitionTime = 500
+	r := MustRegulator(cfg)
+	r.Command(0, 1.1)
+	r.Command(100, 0.7) // supersedes before the first lands
+	for now := sim.Time(100); now <= 5000; now += 100 {
+		r.Step(now, 100)
+	}
+	if got := r.Output(); got != 0.7 {
+		t.Fatalf("superseded command settled at %g, want 0.7", got)
+	}
+}
+
+func TestRegulatorReset(t *testing.T) {
+	r := MustRegulator(regCfg())
+	r.Command(0, 1.15)
+	for now := sim.Time(100); now <= 1000; now += 100 {
+		r.Step(now, 100)
+	}
+	r.Reset()
+	if r.Output() != 0.95 || r.Target() != 0.95 {
+		t.Fatalf("reset state: out=%g target=%g", r.Output(), r.Target())
+	}
+	if got := r.Step(100, 100); got != 0.95 {
+		t.Fatalf("post-reset pending command leaked: %g", got)
+	}
+}
+
+func TestOutputAlwaysInRangeProperty(t *testing.T) {
+	r := MustRegulator(regCfg())
+	now := sim.Time(0)
+	f := func(cmd float64) bool {
+		if math.IsNaN(cmd) || math.IsInf(cmd, 0) {
+			return true
+		}
+		r.Command(now, cmd)
+		for i := 0; i < 20; i++ {
+			now += 100
+			out := r.Step(now, 100)
+			if out < 0.6-1e-9 || out > 1.2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegulatorEfficiencyLoss(t *testing.T) {
+	lossless := MustRegulator(regCfg())
+	if got := lossless.Loss(100); got != 0 {
+		t.Fatalf("default regulator lossy: %g", got)
+	}
+	cfg := regCfg()
+	cfg.Efficiency = 0.9
+	r := MustRegulator(cfg)
+	want := 100 * (1/0.9 - 1)
+	if got := r.Loss(100); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("loss = %g, want %g", got, want)
+	}
+	if got := r.Loss(-5); got != 0 {
+		t.Fatalf("negative load loss = %g", got)
+	}
+	bad := regCfg()
+	bad.Efficiency = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("efficiency > 1 accepted")
+	}
+}

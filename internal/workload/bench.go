@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"hcapp/internal/sim"
+)
+
+// Class is the paper's power-behaviour classification used to name the
+// Table 3 combinations.
+type Class string
+
+// Power-behaviour classes from Table 3.
+const (
+	ClassLow   Class = "Low"
+	ClassMid   Class = "Mid"
+	ClassHi    Class = "Hi"
+	ClassBurst Class = "Burst"
+	ClassConst Class = "Const"
+)
+
+// Target identifies which chiplet a benchmark runs on.
+type Target string
+
+// Benchmark targets.
+const (
+	TargetCPU Target = "CPU"
+	TargetGPU Target = "GPU"
+)
+
+// Benchmark is a named synthetic proxy for one of the paper's PARSEC or
+// Rodinia workloads.
+type Benchmark struct {
+	Name  string
+	Suite string // "PARSEC" or "Rodinia"
+	Class Class
+	On    Target
+	// correlated marks bursty benchmarks whose phases must line up
+	// across units so bursts appear at the package level.
+	correlated bool
+	build      func(rng *rand.Rand, fmax float64) *Trace
+}
+
+// TraceFor builds the trace executed by one unit (core or SM) of nUnits,
+// deterministically derived from seed. Steady workloads decorrelate units
+// with distinct sub-seeds and start phases; bursty workloads share the
+// burst schedule across units (a kernel-level phase hits all SMs at once)
+// with only slight per-unit amplitude variation.
+func (b Benchmark) TraceFor(seed int64, unit, nUnits int, fmax float64) *Trace {
+	if b.build == nil {
+		panic(fmt.Sprintf("workload: benchmark %q has no builder", b.Name))
+	}
+	if unit < 0 || nUnits <= 0 || unit >= nUnits {
+		panic(fmt.Sprintf("workload: unit %d of %d out of range", unit, nUnits))
+	}
+	var rng *rand.Rand
+	if b.correlated {
+		rng = rand.New(rand.NewSource(mixSeed(seed, b.Name, 0)))
+	} else {
+		rng = rand.New(rand.NewSource(mixSeed(seed, b.Name, unit)))
+	}
+	t := b.build(rng, fmax)
+	if b.correlated && nUnits > 1 {
+		// Per-unit amplitude variation without disturbing timing.
+		urng := rand.New(rand.NewSource(mixSeed(seed, b.Name+"/amp", unit)))
+		scale := 1 + 0.03*(2*urng.Float64()-1)
+		for i := range t.Phases {
+			a := t.Phases[i].Activity * scale
+			if a > 1 {
+				a = 1
+			}
+			if a < 0.02 {
+				a = 0.02
+			}
+			t.Phases[i].Activity = a
+		}
+	}
+	return t
+}
+
+// StartPhase returns the phase index a given unit should begin at, to
+// decorrelate steady workloads. Correlated (bursty) workloads always
+// start at phase 0.
+func (b Benchmark) StartPhase(seed int64, unit, nUnits int, tracePhases int) int {
+	if b.correlated || tracePhases <= 1 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(mixSeed(seed, b.Name+"/start", unit)))
+	return rng.Intn(tracePhases)
+}
+
+// mixSeed derives a stable sub-seed from (seed, label, unit).
+func mixSeed(seed int64, label string, unit int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", seed, label, unit)
+	v := int64(h.Sum64())
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// The CPU benchmark subset (paper §4.2): "blackscholes, fluidanimate,
+// ferret and swaptions. This subset captures a wide variety of power
+// behavior on the CPU."
+var cpuBenchmarks = []Benchmark{
+	{
+		Name: "blackscholes", Suite: "PARSEC", Class: ClassLow, On: TargetCPU,
+		build: func(rng *rand.Rand, fmax float64) *Trace {
+			return SteadyTrace("blackscholes", rng, fmax, 24, 100*sim.Microsecond,
+				profile{ipc: 1.4, memFrac: 0.15, activity: 0.48, stallAct: 0.10}, 0.08)
+		},
+	},
+	{
+		Name: "fluidanimate", Suite: "PARSEC", Class: ClassHi, On: TargetCPU,
+		correlated: true, // parallel phases hit all cores together
+		build: func(rng *rand.Rand, fmax float64) *Trace {
+			return WaveTrace("fluidanimate", rng, fmax, 16, 320*sim.Microsecond,
+				profile{ipc: 1.6, memFrac: 0.20, activity: 0.75, stallAct: 0.12}, 0.55, 0.88)
+		},
+	},
+	{
+		Name: "swaptions", Suite: "PARSEC", Class: ClassMid, On: TargetCPU,
+		build: func(rng *rand.Rand, fmax float64) *Trace {
+			return SteadyTrace("swaptions", rng, fmax, 24, 120*sim.Microsecond,
+				profile{ipc: 1.8, memFrac: 0.08, activity: 0.62, stallAct: 0.10}, 0.04)
+		},
+	},
+	{
+		Name: "ferret", Suite: "PARSEC", Class: ClassBurst, On: TargetCPU,
+		correlated: true,
+		build: func(rng *rand.Rand, fmax float64) *Trace {
+			return BurstTrace("ferret", rng, fmax, 10,
+				240*sim.Microsecond, 60*sim.Microsecond,
+				profile{ipc: 0.9, memFrac: 0.75, activity: 0.26, stallAct: 0.10},
+				profile{ipc: 2.0, memFrac: 0.03, activity: 0.84, stallAct: 0.10},
+				0.25)
+		},
+	},
+}
+
+// The GPU benchmark subset (paper §4.3): "backprop, bfs, myocyte and
+// sradv2. These benchmarks capture a range of power characteristics."
+var gpuBenchmarks = []Benchmark{
+	{
+		Name: "myocyte", Suite: "Rodinia", Class: ClassLow, On: TargetGPU,
+		build: func(rng *rand.Rand, fmax float64) *Trace {
+			return SteadyTrace("myocyte", rng, fmax, 24, 110*sim.Microsecond,
+				profile{ipc: 0.5, memFrac: 0.30, activity: 0.42, stallAct: 0.10}, 0.10)
+		},
+	},
+	{
+		Name: "backprop", Suite: "Rodinia", Class: ClassHi, On: TargetGPU,
+		correlated: true, // kernel phases hit all SMs together
+		build: func(rng *rand.Rand, fmax float64) *Trace {
+			return WaveTrace("backprop", rng, fmax, 13, 260*sim.Microsecond,
+				profile{ipc: 1.7, memFrac: 0.25, activity: 0.78, stallAct: 0.14}, 0.64, 0.88)
+		},
+	},
+	{
+		Name: "sradv2", Suite: "Rodinia", Class: ClassMid, On: TargetGPU,
+		correlated: true, // kernel phases hit all SMs together
+		build: func(rng *rand.Rand, fmax float64) *Trace {
+			return WaveTrace("sradv2", rng, fmax, 12, 240*sim.Microsecond,
+				profile{ipc: 1.3, memFrac: 0.30, activity: 0.58, stallAct: 0.10}, 0.48, 0.72)
+		},
+	},
+	{
+		Name: "bfs", Suite: "Rodinia", Class: ClassBurst, On: TargetGPU,
+		correlated: true,
+		build: func(rng *rand.Rand, fmax float64) *Trace {
+			return BurstTrace("bfs", rng, fmax, 12,
+				180*sim.Microsecond, 50*sim.Microsecond,
+				profile{ipc: 0.8, memFrac: 0.68, activity: 0.36, stallAct: 0.10},
+				profile{ipc: 1.8, memFrac: 0.10, activity: 0.84, stallAct: 0.12},
+				0.5)
+		},
+	},
+}
+
+// CPUBenchmarks returns the CPU benchmark subset, sorted by name.
+func CPUBenchmarks() []Benchmark { return sortedCopy(cpuBenchmarks) }
+
+// GPUBenchmarks returns the GPU benchmark subset, sorted by name.
+func GPUBenchmarks() []Benchmark { return sortedCopy(gpuBenchmarks) }
+
+func sortedCopy(bs []Benchmark) []Benchmark {
+	out := make([]Benchmark, len(bs))
+	copy(out, bs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName looks up a benchmark by name across both suites.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range cpuBenchmarks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range gpuBenchmarks {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// ByClass returns the benchmark of the given class on the given target.
+func ByClass(on Target, c Class) (Benchmark, error) {
+	src := cpuBenchmarks
+	if on == TargetGPU {
+		src = gpuBenchmarks
+	}
+	for _, b := range src {
+		if b.Class == c {
+			return b, nil
+		}
+	}
+	// Const maps to the Mid (constant-behaviour) benchmark, as in
+	// Table 3 where "Const" is swaptions.
+	if c == ClassConst {
+		return ByClass(on, ClassMid)
+	}
+	return Benchmark{}, fmt.Errorf("workload: no %s benchmark of class %s", on, c)
+}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"hcapp/internal/sim"
+)
+
+// Shape parameters reused by the builders.
+type profile struct {
+	ipc      float64 // no-stall IPC
+	memFrac  float64
+	activity float64
+	stallAct float64
+}
+
+// jitter returns base perturbed by a uniform relative jitter of ±frac,
+// clamped to (lo, hi).
+func jitter(rng *rand.Rand, base, frac, lo, hi float64) float64 {
+	v := base * (1 + frac*(2*rng.Float64()-1))
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// jitterDur perturbs a duration by ±frac.
+func jitterDur(rng *rand.Rand, base sim.Time, frac float64) sim.Time {
+	v := sim.Time(float64(base) * (1 + frac*(2*rng.Float64()-1)))
+	if v < sim.Microsecond {
+		v = sim.Microsecond
+	}
+	return v
+}
+
+// SteadyTrace builds a trace of nPhases phases of roughly phaseDur each,
+// with small random perturbations around the profile — a program whose
+// power is flat at package timescales (blackscholes, swaptions, myocyte).
+func SteadyTrace(name string, rng *rand.Rand, fmax float64, nPhases int, phaseDur sim.Time, p profile, actJitter float64) *Trace {
+	t := &Trace{Name: name}
+	for i := 0; i < nPhases; i++ {
+		t.Phases = append(t.Phases, PhaseFor(
+			jitterDur(rng, phaseDur, 0.2),
+			fmax,
+			jitter(rng, p.ipc, 0.1, 0.05, 4),
+			jitter(rng, p.memFrac, 0.15, 0, 0.95),
+			jitter(rng, p.activity, actJitter, 0.02, 1),
+			p.stallAct,
+		))
+	}
+	return t
+}
+
+// WaveTrace builds a trace whose activity oscillates sinusoidally between
+// actLo and actHi over period wavePeriod, discretized into nPhases — a
+// program with pronounced medium-timescale power phases (fluidanimate,
+// sradv2).
+func WaveTrace(name string, rng *rand.Rand, fmax float64, nPhases int, wavePeriod sim.Time, p profile, actLo, actHi float64) *Trace {
+	t := &Trace{Name: name}
+	phaseDur := wavePeriod / sim.Time(nPhases)
+	for i := 0; i < nPhases; i++ {
+		frac := float64(i) / float64(nPhases)
+		act := actLo + (actHi-actLo)*(0.5+0.5*math.Sin(2*math.Pi*frac))
+		t.Phases = append(t.Phases, PhaseFor(
+			jitterDur(rng, phaseDur, 0.1),
+			fmax,
+			jitter(rng, p.ipc, 0.08, 0.05, 4),
+			jitter(rng, p.memFrac, 0.1, 0, 0.95),
+			jitter(rng, act, 0.05, 0.02, 1),
+			p.stallAct,
+		))
+	}
+	return t
+}
+
+// BurstTrace builds a trace alternating long low-power gap phases with
+// short high-power bursts — the ferret/bfs behaviour that separates fast
+// and slow controllers. Burst width sits between HCAPP's 1 µs and the
+// RAPL-like 100 µs control periods so that only the fast controller reacts
+// within a burst. Each burst has short ramp edges (pipelines fill and
+// drain over a few microseconds rather than in one cycle), which is also
+// what gives a microsecond-scale controller a fighting chance to clamp
+// the burst before the 20 µs window integrates it.
+func BurstTrace(name string, rng *rand.Rand, fmax float64, nBursts int, gapDur, burstDur sim.Time, gapP, burstP profile, durJitter float64) *Trace {
+	t := &Trace{Name: name}
+	rampDur := burstDur / 8
+	if rampDur < 2*sim.Microsecond {
+		rampDur = 2 * sim.Microsecond
+	}
+	for i := 0; i < nBursts; i++ {
+		gap := Phase{}
+		gap = PhaseFor(
+			jitterDur(rng, gapDur, durJitter),
+			fmax,
+			jitter(rng, gapP.ipc, 0.1, 0.05, 4),
+			jitter(rng, gapP.memFrac, 0.1, 0, 0.95),
+			jitter(rng, gapP.activity, 0.1, 0.02, 1),
+			gapP.stallAct,
+		)
+		burst := PhaseFor(
+			jitterDur(rng, burstDur, durJitter),
+			fmax,
+			jitter(rng, burstP.ipc, 0.1, 0.05, 4),
+			jitter(rng, burstP.memFrac, 0.1, 0, 0.95),
+			jitter(rng, burstP.activity, 0.05, 0.02, 1),
+			burstP.stallAct,
+		)
+		ramp := PhaseFor(
+			rampDur,
+			fmax,
+			(gap.IPC+burst.IPC)/2,
+			(gap.MemFrac+burst.MemFrac)/2,
+			(gap.Activity+burst.Activity)/2,
+			(gap.StallAct+burst.StallAct)/2,
+		)
+		t.Phases = append(t.Phases, gap, ramp, burst, ramp)
+	}
+	return t
+}
+
+// RampTrace builds a trace whose activity ramps linearly from actLo to
+// actHi across the loop — useful for controller tracking tests.
+func RampTrace(name string, rng *rand.Rand, fmax float64, nPhases int, totalDur sim.Time, p profile, actLo, actHi float64) *Trace {
+	t := &Trace{Name: name}
+	phaseDur := totalDur / sim.Time(nPhases)
+	for i := 0; i < nPhases; i++ {
+		frac := float64(i) / float64(nPhases-1)
+		act := actLo + (actHi-actLo)*frac
+		t.Phases = append(t.Phases, PhaseFor(
+			phaseDur,
+			fmax,
+			p.ipc,
+			p.memFrac,
+			jitter(rng, act, 0.02, 0.02, 1),
+			p.stallAct,
+		))
+	}
+	return t
+}
+
+// ConstantTrace builds a single-phase trace with exactly the given
+// profile — the simplest possible load, used heavily in unit tests and
+// PID tuning.
+func ConstantTrace(name string, fmax float64, dur sim.Time, ipc, memFrac, activity, stallAct float64) *Trace {
+	return &Trace{
+		Name:   name,
+		Phases: []Phase{PhaseFor(dur, fmax, ipc, memFrac, activity, stallAct)},
+	}
+}
