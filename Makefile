@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench serve
+
+## ci: the tier-1 gate — formatting, vet, build, and the race-enabled
+## test suite. Run before every push; scripts/ci.sh is the same gate
+## for environments without make.
+ci: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: telemetry hot paths and the instrumented-engine overhead
+## comparison (see bench_test.go).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkCounterInc$$|BenchmarkGaugeSet$$|BenchmarkHistogramObserve$$' -benchmem ./internal/telemetry/
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineStep' -benchmem .
+
+serve:
+	$(GO) run ./cmd/hcapp-serve

@@ -15,8 +15,10 @@ package hcapp_test
 
 import (
 	"testing"
+	"time"
 
 	"hcapp"
+	"hcapp/internal/telemetry"
 )
 
 // benchDur is the evaluation horizon for figure benchmarks: long enough
@@ -266,6 +268,111 @@ func BenchmarkEngineStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sys.Engine.RunFor(cfg.TimeStep)
 	}
+}
+
+// newObservedSystem builds the BenchmarkEngineStep system with the
+// hcapp-serve style telemetry observer attached: per-domain power and
+// voltage gauges, a package power gauge, and a step counter, all on the
+// label-cached zero-alloc path.
+func newObservedSystem(tb testing.TB) *hcapp.System {
+	cfg := hcapp.DefaultConfig()
+	combo, err := hcapp.ComboByName("Hi-Hi")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	obs := &benchObserver{
+		steps: reg.Counter("hcapp_sim_steps_total", "Engine steps.", "job").With("bench"),
+		pkg:   reg.Gauge("hcapp_package_power_watts", "Package power.", "job").With("bench"),
+	}
+	powerVec := reg.Gauge("hcapp_domain_power_watts", "Domain power.", "job", "domain")
+	voltVec := reg.Gauge("hcapp_domain_voltage_volts", "Domain voltage.", "job", "domain")
+	for _, d := range []string{"cpu", "gpu", "sha", "mem"} {
+		obs.power = append(obs.power, powerVec.With("bench", d))
+		obs.volt = append(obs.volt, voltVec.With("bench", d))
+	}
+	sys, err := hcapp.Build(cfg, combo, hcapp.BuildOptions{
+		Scheme:      hcapp.HCAPPScheme(),
+		TargetPower: hcapp.TargetPowerFor(hcapp.PackagePinLimit()),
+		Observer:    obs,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+type benchObserver struct {
+	steps       *telemetry.Counter
+	pkg         *telemetry.Gauge
+	power, volt []*telemetry.Gauge
+}
+
+func (o *benchObserver) ObserveStep(now hcapp.Time, total float64, domains []hcapp.DomainSample) {
+	o.steps.Inc()
+	o.pkg.Set(total)
+	for i := range domains {
+		o.power[i].Set(domains[i].Power)
+		o.volt[i].Set(domains[i].Voltage)
+	}
+}
+
+// BenchmarkEngineStepInstrumented is BenchmarkEngineStep with the live
+// telemetry observer attached; compare the two to price the hook. The
+// budget is < 5% overhead (TestInstrumentedStepOverhead enforces it).
+func BenchmarkEngineStepInstrumented(b *testing.B) {
+	cfg := hcapp.DefaultConfig()
+	sys := newObservedSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Engine.RunFor(cfg.TimeStep)
+	}
+}
+
+// TestInstrumentedStepOverhead measures instrumented vs uninstrumented
+// engine stepping back to back and fails if telemetry costs more than
+// 5% — the contract that lets hcapp-serve instrument every job.
+func TestInstrumentedStepOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	cfg := hcapp.DefaultConfig()
+	combo, err := hcapp.ComboByName("Hi-Hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := hcapp.Build(cfg, combo, hcapp.BuildOptions{
+		Scheme:      hcapp.HCAPPScheme(),
+		TargetPower: hcapp.TargetPowerFor(hcapp.PackagePinLimit()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := newObservedSystem(t)
+	const span = 2 * hcapp.Millisecond
+	// Interleaved warm-up then measurement, so both runs see the same
+	// cache/turbo conditions.
+	base.Engine.RunFor(span)
+	inst.Engine.RunFor(span)
+	tBase := stepTime(base, span)
+	tInst := stepTime(inst, span)
+	ratio := tInst.Seconds() / tBase.Seconds()
+	t.Logf("uninstrumented %v, instrumented %v, ratio %.3f", tBase, tInst, ratio)
+	if ratio > 1.05 {
+		t.Errorf("telemetry overhead %.1f%% exceeds the 5%% budget", 100*(ratio-1))
+	}
+}
+
+func stepTime(sys *hcapp.System, span hcapp.Time) time.Duration {
+	best := time.Duration(1 << 62)
+	for trial := 0; trial < 5; trial++ {
+		start := time.Now()
+		sys.Engine.RunFor(span)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
 }
 
 // BenchmarkEvaluatorRun measures one full combo simulation at a 1 ms

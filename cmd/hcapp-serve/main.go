@@ -1,0 +1,88 @@
+// Command hcapp-serve runs the HCAPP reproduction as a long-lived
+// simulation service: experiment jobs go in over HTTP, live telemetry
+// comes out as Prometheus metrics.
+//
+//	hcapp-serve -addr :8080 -workers 4
+//
+// Endpoints:
+//
+//	POST /v1/jobs             submit a simulation job (JSON body)
+//	GET  /v1/jobs             list retained jobs
+//	GET  /v1/jobs/{id}        job status + result
+//	GET  /v1/jobs/{id}/trace  page through the live power trace
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             liveness + queue state
+//
+// The process drains gracefully on SIGTERM/SIGINT: in-flight
+// simulations finish (bounded by -drain), new submissions get 503.
+// See docs/METRICS.md for the metric catalogue and README.md for curl
+// examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hcapp/internal/server"
+	"hcapp/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "simulation worker pool size")
+	queue := flag.Int("queue", 32, "job queue depth (back-pressure bound)")
+	maxDurMS := flag.Float64("max-dur", 64, "maximum per-job target duration, simulated ms")
+	maxJobs := flag.Int("max-jobs", 256, "retained job table size")
+	drain := flag.Duration("drain", 2*time.Minute, "graceful shutdown drain budget")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		MaxDur:     sim.Time(*maxDurMS * float64(sim.Millisecond)),
+		MaxJobs:    *maxJobs,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("hcapp-serve: listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("hcapp-serve: signal received, draining (budget %s)", *drain)
+	case err := <-errCh:
+		log.Printf("hcapp-serve: listener failed: %v", err)
+		os.Exit(1)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting HTTP first, then let queued/running jobs finish.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("hcapp-serve: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "hcapp-serve: jobs still running at drain deadline: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("hcapp-serve: drained cleanly")
+}

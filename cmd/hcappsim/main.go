@@ -24,6 +24,54 @@ import (
 	"hcapp/internal/sim"
 )
 
+// experimentIDs is the registry of runnable experiment ids, in the
+// order "-experiment all" executes them.
+var experimentIDs = []string{
+	"table1", "table2", "table3",
+	"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"scaling", "policies", "centralized", "locals", "clocking", "thermal",
+	"adversarial", "faults", "vreff", "retarget", "seeds", "checks",
+}
+
+// notInAll lists registry ids excluded from "all": the seed sweep
+// re-runs the whole validation suite once per seed.
+var notInAll = map[string]bool{"seeds": true}
+
+// parseExperimentIDs expands and validates the -experiment flag. Every
+// id is checked before anything runs, so a typo in a long comma list
+// fails fast instead of after an hour of simulation.
+func parseExperimentIDs(exp string) ([]string, error) {
+	if exp == "all" {
+		ids := make([]string, 0, len(experimentIDs))
+		for _, id := range experimentIDs {
+			if !notInAll[id] {
+				ids = append(ids, id)
+			}
+		}
+		return ids, nil
+	}
+	valid := make(map[string]bool, len(experimentIDs))
+	for _, id := range experimentIDs {
+		valid[id] = true
+	}
+	var ids []string
+	for _, raw := range strings.Split(exp, ",") {
+		id := strings.TrimSpace(strings.ToLower(raw))
+		if id == "" {
+			continue
+		}
+		if !valid[id] {
+			return nil, fmt.Errorf("unknown experiment %q (valid: all %s)",
+				strings.TrimSpace(raw), strings.Join(experimentIDs, " "))
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no experiment ids given (valid: all %s)", strings.Join(experimentIDs, " "))
+	}
+	return ids, nil
+}
+
 func main() {
 	exp := flag.String("experiment", "all", "experiment id(s), comma-separated, or 'all'")
 	dur := flag.Float64("dur", 16, "target duration in milliseconds")
@@ -31,18 +79,17 @@ func main() {
 	combo := flag.String("combo", "Burst-Burst", "combo for fig1/fig2 traces")
 	flag.Parse()
 
+	ids, err := parseExperimentIDs(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hcappsim: %v\n", err)
+		os.Exit(2)
+	}
+
 	ev := experiment.NewEvaluator().WithTargetDur(sim.Time(*dur * float64(sim.Millisecond)))
 	ev.Cfg.Seed = *seed
 
-	var ids []string
-	if *exp == "all" {
-		ids = []string{"table1", "table2", "table3", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-			"scaling", "policies", "centralized", "locals", "clocking", "thermal", "adversarial", "faults", "vreff", "retarget", "checks"}
-	} else {
-		ids = strings.Split(*exp, ",")
-	}
 	for _, id := range ids {
-		if err := run(ev, strings.TrimSpace(strings.ToLower(id)), *combo); err != nil {
+		if err := run(ev, id, *combo); err != nil {
 			fmt.Fprintf(os.Stderr, "hcappsim: %s: %v\n", id, err)
 			os.Exit(1)
 		}
@@ -203,7 +250,9 @@ func run(ev *experiment.Evaluator, id, comboName string) error {
 		fmt.Printf("%-14s max/limit=%.3f violated=%v cpu-done=%s\n", "adversarial",
 			adv.MaxOverLimit, adv.Violated, sim.FormatTime(adv.Completion["cpu"]))
 	default:
-		return fmt.Errorf("unknown experiment (want table1-3, fig1-10, scaling, policies, centralized, locals, clocking, thermal, adversarial, faults, vreff, retarget, seeds, checks)")
+		// parseExperimentIDs screens ids before this runs; reaching here
+		// means the registry lists an id the switch does not handle.
+		return fmt.Errorf("experiment %q is registered but not implemented", id)
 	}
 	return nil
 }

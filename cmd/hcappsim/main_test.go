@@ -1,0 +1,79 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseExperimentIDsAll(t *testing.T) {
+	ids, err := parseExperimentIDs("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, 0, len(experimentIDs))
+	for _, id := range experimentIDs {
+		if !notInAll[id] {
+			want = append(want, id)
+		}
+	}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("all = %v, want %v", ids, want)
+	}
+	for _, id := range ids {
+		if notInAll[id] {
+			t.Fatalf("%q escaped the notInAll filter", id)
+		}
+	}
+}
+
+func TestParseExperimentIDsNormalizes(t *testing.T) {
+	ids, err := parseExperimentIDs(" FIG4 ,fig5,, Table1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"fig4", "fig5", "table1"}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("ids = %v, want %v", ids, want)
+	}
+}
+
+func TestParseExperimentIDsRejectsUnknown(t *testing.T) {
+	// A typo anywhere in the list must fail up front, before any
+	// experiment runs, and name every valid id.
+	_, err := parseExperimentIDs("table1,fig99,fig4")
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "fig99") {
+		t.Errorf("error does not name the bad id: %s", msg)
+	}
+	for _, id := range experimentIDs {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error does not list valid id %q: %s", id, msg)
+		}
+	}
+}
+
+func TestParseExperimentIDsRejectsEmpty(t *testing.T) {
+	for _, in := range []string{"", " ", ",,"} {
+		if _, err := parseExperimentIDs(in); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestRegistryHasNoDuplicates(t *testing.T) {
+	seen := map[string]bool{}
+	for _, id := range experimentIDs {
+		if seen[id] {
+			t.Errorf("duplicate registry id %q", id)
+		}
+		seen[id] = true
+	}
+	for id := range notInAll {
+		if !seen[id] {
+			t.Errorf("notInAll id %q is not in the registry", id)
+		}
+	}
+}

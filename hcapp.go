@@ -80,6 +80,12 @@ type (
 	TracePoint = trace.Point
 	// Time is simulated time in nanoseconds.
 	Time = sim.Time
+	// StepObserver receives live per-step engine telemetry (total and
+	// per-domain power/voltage) — the hook hcapp-serve publishes
+	// metrics through.
+	StepObserver = sched.StepObserver
+	// DomainSample is one domain's per-step telemetry sample.
+	DomainSample = sched.DomainSample
 )
 
 // Re-exported time units for building durations.

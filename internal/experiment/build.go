@@ -95,6 +95,9 @@ type BuildOptions struct {
 	// Supervisor attaches a software-timescale controller (priority
 	// register writer): a swctl policy or the centralized allocator.
 	Supervisor sched.Supervisor
+	// Observer receives live per-step telemetry from the engine (the
+	// hcapp-serve metrics/trace hook); nil costs nothing.
+	Observer sched.StepObserver
 	// ForceLocalControl enables level-3 controllers even under a
 	// fixed-voltage rail (used by the centralized-allocator comparison,
 	// which pins the rail but keeps per-unit control).
@@ -259,6 +262,7 @@ func Build(cfg config.SystemConfig, combo Combo, opts BuildOptions) (*System, er
 		Recorder:        rec,
 		TrackComponents: opts.TrackComponents,
 		Supervisor:      opts.Supervisor,
+		Observer:        opts.Observer,
 	})
 	if err != nil {
 		return nil, err

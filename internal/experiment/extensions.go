@@ -251,6 +251,13 @@ func (ev *Evaluator) ExtensionCentralized(limit config.PowerLimit) (*Matrix, err
 	return m, nil
 }
 
+// ValidatePolicy checks that name is a known software policy without
+// instantiating a run (used by the job server's request validation).
+func ValidatePolicy(name string) error {
+	_, err := policyByName(name)
+	return err
+}
+
 // buildSupervisor constructs the supervisor a RunSpec's policy names.
 func buildSupervisor(policy string) (sched.Supervisor, error) {
 	if policy == "" {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"hcapp/internal/config"
+	"hcapp/internal/sched"
 	"hcapp/internal/sim"
 	"hcapp/internal/stats"
 )
@@ -106,6 +107,12 @@ type Evaluator struct {
 	MaxDurFactor float64
 	// FixedV is the fixed-voltage baseline's global voltage.
 	FixedV float64
+	// Observer, when non-nil, receives per-step telemetry from every
+	// uncached Run (hcapp-serve live metrics and trace streaming).
+	// Cached results replay no steps, so a caller that needs the full
+	// stream should use a fresh evaluator per run, as the job server
+	// does.
+	Observer sched.StepObserver
 
 	cache  map[string]RunResult
 	sizing map[string]Sizing
@@ -170,6 +177,7 @@ func (ev *Evaluator) Run(spec RunSpec) (RunResult, error) {
 		AccelWorkGB:      sizing.AccelGB,
 		AdversarialAccel: spec.AdversarialAccel,
 		Supervisor:       sup,
+		Observer:         ev.Observer,
 	}
 	if spec.Scheme.Kind != config.FixedVoltage {
 		opts.TargetPower = TargetPowerFor(spec.Limit)

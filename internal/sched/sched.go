@@ -43,6 +43,29 @@ type Supervisor interface {
 	Tick(now sim.Time, eng *Engine)
 }
 
+// DomainSample is one domain's contribution to a step, delivered to a
+// StepObserver. The slice passed to ObserveStep is reused between steps;
+// observers must copy anything they keep.
+type DomainSample struct {
+	// Domain is the domain controller's name ("cpu", "gpu", "sha", ...).
+	Domain string
+	// Component is the powered component's name.
+	Component string
+	// Power is the component's draw over the step, watts.
+	Power float64
+	// Voltage is the domain output voltage applied this step.
+	Voltage float64
+}
+
+// StepObserver receives live per-step telemetry from a running engine —
+// the hook the hcapp-serve metrics/trace pipeline hangs off. It is
+// called once per engine step, on the simulation goroutine, after all
+// components have stepped; implementations must be fast (the engine
+// steps every 100 ns of simulated time) and must not retain domains.
+type StepObserver interface {
+	ObserveStep(now sim.Time, totalPower float64, domains []DomainSample)
+}
+
 // Config assembles an engine.
 type Config struct {
 	DT       sim.Time
@@ -61,6 +84,10 @@ type Config struct {
 	// Supervisor, when non-nil, runs on its own period (software
 	// control on top of HCAPP, §5.3/§6).
 	Supervisor Supervisor
+	// Observer, when non-nil, receives per-step telemetry (power,
+	// per-domain voltage). Costs one interface call per step plus a few
+	// stores; no allocations.
+	Observer StepObserver
 }
 
 // Engine is the central simulation controller.
@@ -70,6 +97,10 @@ type Engine struct {
 	lastTotal float64
 	nextSup   sim.Time
 	supTicks  int64
+	steps     int64
+	// obsBuf is the reusable per-step sample buffer handed to the
+	// observer (names prefilled at construction; zero allocs per step).
+	obsBuf []DomainSample
 }
 
 // New validates and builds an engine.
@@ -94,6 +125,13 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e := &Engine{cfg: cfg}
+	if cfg.Observer != nil {
+		e.obsBuf = make([]DomainSample, len(cfg.Slots))
+		for i, s := range cfg.Slots {
+			e.obsBuf[i].Domain = s.Domain.Name()
+			e.obsBuf[i].Component = s.Comp.Name()
+		}
+	}
 	if cfg.Supervisor != nil {
 		if cfg.Supervisor.Period() <= 0 {
 			return nil, fmt.Errorf("sched: supervisor period must be positive")
@@ -187,13 +225,17 @@ func (e *Engine) step() {
 	if e.cfg.TrackComponents {
 		e.cfg.Recorder.RecordComponent("voltage:rail", vrail)
 	}
-	for _, s := range e.cfg.Slots {
+	for i, s := range e.cfg.Slots {
 		vdom := s.Domain.Step(now, dt, vrail)
 		res := s.Comp.Step(now, dt, vdom)
 		total += res.Power
 		if e.cfg.TrackComponents {
 			e.cfg.Recorder.RecordComponent(s.Comp.Name(), res.Power)
 			e.cfg.Recorder.RecordComponent("voltage:"+s.Domain.Name(), vdom)
+		}
+		if e.obsBuf != nil {
+			e.obsBuf[i].Power = res.Power
+			e.obsBuf[i].Voltage = vdom
 		}
 	}
 
@@ -212,6 +254,10 @@ func (e *Engine) step() {
 
 	e.cfg.Recorder.Record(total)
 	e.lastTotal = total
+	e.steps++
+	if e.cfg.Observer != nil {
+		e.cfg.Observer.ObserveStep(now, total, e.obsBuf)
+	}
 
 	// 6. Software supervision (OS timescale).
 	if e.cfg.Supervisor != nil && now >= e.nextSup {
@@ -223,6 +269,10 @@ func (e *Engine) step() {
 
 // SupervisorTicks reports how many supervision passes have run.
 func (e *Engine) SupervisorTicks() int64 { return e.supTicks }
+
+// Steps reports how many engine steps have executed since construction
+// or the last Reset.
+func (e *Engine) Steps() int64 { return e.steps }
 
 // LastTotalPower returns the package power drawn on the most recent
 // step (telemetry for supervisors).
@@ -292,6 +342,7 @@ func (e *Engine) Reset() {
 	}
 	e.cfg.Recorder.Reset()
 	e.supTicks = 0
+	e.steps = 0
 	if e.cfg.Supervisor != nil {
 		e.nextSup = e.cfg.Supervisor.Period()
 	}

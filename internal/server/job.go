@@ -1,0 +1,238 @@
+// Package server is the long-running face of the HCAPP reproduction:
+// a concurrent simulation service that accepts experiment jobs over
+// HTTP, runs them on a bounded worker pool, streams live per-step trace
+// samples from running jobs, and exposes the whole system's state —
+// per-chiplet power, controller voltages, queue depths, throughput — as
+// Prometheus metrics through internal/telemetry.
+//
+// The batch CLIs (cmd/hcappsim and friends) run one experiment and
+// exit; cmd/hcapp-serve mounts this package to serve many concurrent
+// simulations with observability, the shape a real power-control
+// supervisor service takes (cf. ControlPULP's host interface and
+// my-gpu-exporter's metric surface).
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"hcapp/internal/config"
+	"hcapp/internal/experiment"
+	"hcapp/internal/sim"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle: queued → running → (done | failed).
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// JobRequest is the POST /v1/jobs body: one simulation run, expressed
+// in the same vocabulary as internal/experiment. Everything except
+// Combo defaults sensibly.
+type JobRequest struct {
+	// Combo names a Table 3 benchmark combination ("Hi-Hi",
+	// "Burst-Low", ...). Required.
+	Combo string `json:"combo"`
+	// Scheme is the control scheme kind: "hcapp" (default),
+	// "rapl-like", "sw-like" or "fixed-voltage".
+	Scheme string `json:"scheme,omitempty"`
+	// FixedV overrides the fixed-voltage scheme's rail (default 0.95).
+	FixedV float64 `json:"fixed_v,omitempty"`
+	// Limit names the power limit: "package-pin" (default) or
+	// "off-package-vr".
+	Limit string `json:"limit,omitempty"`
+	// DurMS is the target duration in milliseconds (default 2, capped
+	// by the server's MaxDurMS).
+	DurMS float64 `json:"dur_ms,omitempty"`
+	// Seed drives workload generation (default 42, the paper's seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Priorities maps domain name → software priority (§5.3).
+	Priorities map[string]float64 `json:"priorities,omitempty"`
+	// AdversarialAccel enables the §3.3.3 adversarial local controller.
+	AdversarialAccel bool `json:"adversarial_accel,omitempty"`
+	// Policy names a software supervision policy ("static-cpu",
+	// "progress-balancer", "critical-path"); empty means none.
+	Policy string `json:"policy,omitempty"`
+}
+
+// JobResult is the simulation outcome serialized to clients — the
+// RunResult metrics, minus the internal spec echo.
+type JobResult struct {
+	MaxWindowPower float64 `json:"max_window_power_watts"`
+	MaxOverLimit   float64 `json:"max_over_limit"`
+	Violated       bool    `json:"violated"`
+	AvgPower       float64 `json:"avg_power_watts"`
+	PPE            float64 `json:"ppe"`
+	// CompletionNS maps component → completion time in simulated ns.
+	CompletionNS  map[string]sim.Time `json:"completion_ns"`
+	Completed     bool                `json:"completed"`
+	DurationNS    sim.Time            `json:"duration_ns"`
+	ControlCycles int64               `json:"control_cycles"`
+}
+
+// resultFromRun projects a RunResult onto the wire type.
+func resultFromRun(r experiment.RunResult) *JobResult {
+	return &JobResult{
+		MaxWindowPower: r.MaxWindowPower,
+		MaxOverLimit:   r.MaxOverLimit,
+		Violated:       r.Violated,
+		AvgPower:       r.AvgPower,
+		PPE:            r.PPE,
+		CompletionNS:   r.Completion,
+		Completed:      r.Completed,
+		DurationNS:     r.Duration,
+		ControlCycles:  r.ControlCycles,
+	}
+}
+
+// Job is one tracked simulation.
+type Job struct {
+	mu sync.Mutex
+
+	id      string
+	req     JobRequest
+	spec    experiment.RunSpec
+	dur     sim.Time
+	state   JobState
+	err     string
+	result  *JobResult
+	created time.Time
+	started time.Time
+	ended   time.Time
+
+	trace *traceBuffer
+}
+
+// JobStatus is the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	ID    string     `json:"id"`
+	State JobState   `json:"state"`
+	Req   JobRequest `json:"request"`
+	// SimTimeNS is the job's live simulated-time progress.
+	SimTimeNS sim.Time   `json:"sim_time_ns"`
+	Steps     int64      `json:"steps"`
+	Error     string     `json:"error,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+	CreatedAt time.Time  `json:"created_at"`
+	StartedAt *time.Time `json:"started_at,omitempty"`
+	EndedAt   *time.Time `json:"ended_at,omitempty"`
+}
+
+// Status snapshots the job for serialization.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Req:       j.req,
+		Error:     j.err,
+		Result:    j.result,
+		CreatedAt: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.ended.IsZero() {
+		t := j.ended
+		st.EndedAt = &t
+	}
+	st.SimTimeNS, st.Steps = j.trace.Progress()
+	return st
+}
+
+// newJobID returns a 16-hex-digit random id.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure means the platform is broken; ids only
+		// need uniqueness, so fall back to the clock.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// compile translates and validates a request against the experiment
+// vocabulary, returning the run spec and target duration.
+func compile(req JobRequest, maxDur sim.Time) (experiment.RunSpec, sim.Time, error) {
+	var zero experiment.RunSpec
+	combo, err := experiment.ComboByName(req.Combo)
+	if err != nil {
+		names := make([]string, 0)
+		for _, c := range experiment.Suite() {
+			names = append(names, c.Name)
+		}
+		return zero, 0, fmt.Errorf("unknown combo %q (valid: %v)", req.Combo, names)
+	}
+
+	kind := config.SchemeKind(req.Scheme)
+	if req.Scheme == "" {
+		kind = config.HCAPP
+	}
+	scheme, err := config.SchemeByKind(kind)
+	if err != nil {
+		return zero, 0, fmt.Errorf("unknown scheme %q (valid: hcapp, rapl-like, sw-like, fixed-voltage)", req.Scheme)
+	}
+	if scheme.Kind == config.FixedVoltage && req.FixedV != 0 {
+		if req.FixedV < 0.3 || req.FixedV > 1.2 {
+			return zero, 0, fmt.Errorf("fixed_v %g outside [0.3, 1.2]", req.FixedV)
+		}
+		scheme.FixedV = req.FixedV
+	}
+
+	var limit config.PowerLimit
+	switch req.Limit {
+	case "", config.PackagePinLimit().Name:
+		limit = config.PackagePinLimit()
+	case config.OffPackageVRLimit().Name:
+		limit = config.OffPackageVRLimit()
+	default:
+		return zero, 0, fmt.Errorf("unknown limit %q (valid: %q, %q)",
+			req.Limit, config.PackagePinLimit().Name, config.OffPackageVRLimit().Name)
+	}
+
+	for name := range req.Priorities {
+		switch name {
+		case "cpu", "gpu", "sha", "mem":
+		default:
+			return zero, 0, fmt.Errorf("unknown priority domain %q (valid: cpu, gpu, sha, mem)", name)
+		}
+	}
+
+	if req.Policy != "" {
+		if err := experiment.ValidatePolicy(req.Policy); err != nil {
+			return zero, 0, err
+		}
+	}
+
+	dur := sim.Time(req.DurMS * float64(sim.Millisecond))
+	if req.DurMS == 0 {
+		dur = 2 * sim.Millisecond
+	}
+	if dur <= 0 {
+		return zero, 0, fmt.Errorf("dur_ms %g not positive", req.DurMS)
+	}
+	if dur > maxDur {
+		return zero, 0, fmt.Errorf("dur_ms %g exceeds this server's maximum %g",
+			req.DurMS, float64(maxDur)/float64(sim.Millisecond))
+	}
+
+	return experiment.RunSpec{
+		Combo:            combo,
+		Scheme:           scheme,
+		Limit:            limit,
+		Priorities:       req.Priorities,
+		AdversarialAccel: req.AdversarialAccel,
+		Policy:           req.Policy,
+	}, dur, nil
+}

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hcapp/internal/config"
+	"hcapp/internal/experiment"
+	"hcapp/internal/sim"
+)
+
+// ErrQueueFull is returned by Submit when the job queue is at capacity —
+// the service sheds load instead of buffering unboundedly.
+var ErrQueueFull = fmt.Errorf("server: job queue full")
+
+// ErrShuttingDown is returned by Submit after Shutdown begins.
+var ErrShuttingDown = fmt.Errorf("server: shutting down")
+
+// Manager owns the job table and the bounded worker pool. Every job
+// simulates on its own evaluator — the concurrency test in
+// internal/experiment proves independent evaluators share no mutable
+// state — so workers scale across cores without locking the engine.
+type Manager struct {
+	cfg     Config
+	metrics *metrics
+
+	queue chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // insertion order, for listing and retention
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// NewManager builds a manager and starts its workers.
+func NewManager(cfg Config, m *metrics) *Manager {
+	mgr := &Manager{
+		cfg:     cfg,
+		metrics: m,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    make(map[string]*Job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		mgr.wg.Add(1)
+		go mgr.worker()
+	}
+	return mgr
+}
+
+// Submit validates, registers and enqueues a job.
+func (mgr *Manager) Submit(req JobRequest) (*Job, error) {
+	spec, dur, err := compile(req, mgr.cfg.MaxDur)
+	if err != nil {
+		mgr.metrics.jobsRejected.Inc()
+		return nil, err
+	}
+	if req.Seed == 0 {
+		req.Seed = 42
+	}
+
+	stepsPerSample := int(mgr.cfg.TraceSampleEvery / mgr.cfg.TimeStep())
+	j := &Job{
+		id:      newJobID(),
+		req:     req,
+		spec:    spec,
+		dur:     dur,
+		state:   StateQueued,
+		created: time.Now(),
+		trace:   newTraceBuffer(stepsPerSample, mgr.cfg.MaxTraceSamples),
+	}
+
+	mgr.mu.Lock()
+	if mgr.draining {
+		mgr.mu.Unlock()
+		mgr.metrics.jobsRejected.Inc()
+		return nil, ErrShuttingDown
+	}
+	mgr.jobs[j.id] = j
+	mgr.order = append(mgr.order, j.id)
+	mgr.evictLocked()
+	mgr.mu.Unlock()
+
+	select {
+	case mgr.queue <- j:
+	default:
+		mgr.mu.Lock()
+		delete(mgr.jobs, j.id)
+		mgr.order = mgr.order[:len(mgr.order)-1]
+		mgr.mu.Unlock()
+		mgr.metrics.jobsRejected.Inc()
+		return nil, ErrQueueFull
+	}
+	mgr.metrics.jobsSubmitted.Inc()
+	mgr.metrics.queueDepth.Set(float64(len(mgr.queue)))
+	return j, nil
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention cap,
+// bounding both the job table and metric cardinality over a long
+// serving life. Callers hold mgr.mu.
+func (mgr *Manager) evictLocked() {
+	for len(mgr.order) > mgr.cfg.MaxJobs {
+		evicted := false
+		for i, id := range mgr.order {
+			j := mgr.jobs[id]
+			j.mu.Lock()
+			terminal := j.state == StateDone || j.state == StateFailed
+			j.mu.Unlock()
+			if terminal {
+				delete(mgr.jobs, id)
+				mgr.order = append(mgr.order[:i], mgr.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			// Everything retained is still queued or running; the
+			// queue bound keeps this transient.
+			return
+		}
+	}
+}
+
+// Get returns the job by id.
+func (mgr *Manager) Get(id string) (*Job, bool) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	j, ok := mgr.jobs[id]
+	return j, ok
+}
+
+// List snapshots all retained jobs, newest first.
+func (mgr *Manager) List() []JobStatus {
+	mgr.mu.Lock()
+	ids := append([]string(nil), mgr.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, mgr.jobs[id])
+	}
+	mgr.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	sort.SliceStable(out, func(i, k int) bool { return out[i].CreatedAt.After(out[k].CreatedAt) })
+	return out
+}
+
+// worker drains the queue until Shutdown closes it.
+func (mgr *Manager) worker() {
+	defer mgr.wg.Done()
+	for j := range mgr.queue {
+		mgr.metrics.queueDepth.Set(float64(len(mgr.queue)))
+		mgr.runJob(j)
+	}
+}
+
+// runJob executes one simulation end to end.
+func (mgr *Manager) runJob(j *Job) {
+	start := time.Now()
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = start
+	j.mu.Unlock()
+	mgr.metrics.jobsRunning.Inc()
+	defer func() {
+		mgr.metrics.jobsRunning.Dec()
+		mgr.metrics.jobSeconds.Observe(time.Since(start).Seconds())
+	}()
+
+	// One evaluator per job: evaluators are cheap, carry the run cache
+	// we do not want shared, and isolate all mutable simulation state.
+	ev := experiment.NewEvaluator().WithTargetDur(j.dur)
+	ev.Cfg.Seed = j.req.Seed
+	info := jobSpecInfo{limit: j.spec.Limit}
+	if !isFixed(j.spec) {
+		info.target = experiment.TargetPowerFor(j.spec.Limit)
+	}
+	obs := mgr.metrics.newJobObserver(j, info)
+	ev.Observer = obs
+
+	res, err := ev.Run(j.spec)
+	obs.flush()
+
+	end := time.Now()
+	j.mu.Lock()
+	j.ended = end
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+	} else {
+		j.state = StateDone
+		j.result = resultFromRun(res)
+	}
+	j.mu.Unlock()
+
+	if err != nil {
+		mgr.metrics.jobsCompleted.With(string(StateFailed)).Inc()
+		return
+	}
+	mgr.metrics.jobsCompleted.With(string(StateDone)).Inc()
+	if res.Violated {
+		mgr.metrics.jobsViolated.Inc()
+	}
+}
+
+func isFixed(spec experiment.RunSpec) bool {
+	return spec.Scheme.Kind == config.FixedVoltage
+}
+
+// QueueLen reports jobs waiting for a worker.
+func (mgr *Manager) QueueLen() int { return len(mgr.queue) }
+
+// Shutdown stops accepting jobs, then waits for in-flight and queued
+// jobs to finish, or for ctx to expire (workers cannot be preempted
+// mid-simulation; an expired ctx abandons them to the process exit).
+func (mgr *Manager) Shutdown(ctx context.Context) error {
+	mgr.mu.Lock()
+	if !mgr.draining {
+		mgr.draining = true
+		close(mgr.queue)
+	}
+	mgr.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		mgr.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TimeStep exposes the engine timestep the server sizes trace buckets
+// with (the default system config's step).
+func (c Config) TimeStep() sim.Time {
+	if c.SimTimeStep > 0 {
+		return c.SimTimeStep
+	}
+	return 100 * sim.Nanosecond
+}

@@ -1,0 +1,253 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"hcapp/internal/sim"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the simulation worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 32); beyond
+	// it, POST /v1/jobs returns 429.
+	QueueDepth int
+	// MaxDur caps a single job's target duration (default 64 ms of
+	// simulated time — ~30 s of wall clock on one core).
+	MaxDur sim.Time
+	// MaxJobs bounds the retained job table, and with it /metrics
+	// cardinality (default 256; oldest finished jobs evicted first).
+	MaxJobs int
+	// TraceSampleEvery is the live trace down-sampling bucket in
+	// simulated time (default 10 µs).
+	TraceSampleEvery sim.Time
+	// MaxTraceSamples bounds each job's trace buffer (default 65536).
+	MaxTraceSamples int
+	// SimTimeStep overrides the engine timestep used to size trace
+	// buckets; leave zero for the default system's 100 ns.
+	SimTimeStep sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.MaxDur <= 0 {
+		c.MaxDur = 64 * sim.Millisecond
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.TraceSampleEvery <= 0 {
+		c.TraceSampleEvery = 10 * sim.Microsecond
+	}
+	if c.MaxTraceSamples <= 0 {
+		c.MaxTraceSamples = 65536
+	}
+	return c
+}
+
+// Server is the HTTP face over a Manager: job submission and status,
+// live trace paging, health and Prometheus metrics.
+type Server struct {
+	cfg     Config
+	manager *Manager
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New builds a started server (workers running, handler ready to
+// mount). Call Shutdown to drain.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := newMetrics()
+	s := &Server{
+		cfg:     cfg,
+		manager: NewManager(cfg, m),
+		metrics: m,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/jobs", s.counted("jobs", s.handleJobs))
+	s.mux.HandleFunc("/v1/jobs/", s.counted("job", s.handleJob))
+	s.mux.HandleFunc("/healthz", s.counted("healthz", s.handleHealthz))
+	s.mux.Handle("/metrics", s.countedHandler("metrics", m.reg.Handler()))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Manager exposes the job manager (tests, embedding).
+func (s *Server) Manager() *Manager { return s.manager }
+
+// Shutdown drains the worker pool; see Manager.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error { return s.manager.Shutdown(ctx) }
+
+func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
+	c := s.metrics.httpRequests.With(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h(w, r)
+	}
+}
+
+func (s *Server) countedHandler(name string, h http.Handler) http.Handler {
+	c := s.metrics.httpRequests.With(name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// apiError is every non-2xx body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleJobs serves POST /v1/jobs (submit) and GET /v1/jobs (list).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req JobRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			s.metrics.jobsRejected.Inc()
+			writeError(w, http.StatusBadRequest, "invalid job request: %v", err)
+			return
+		}
+		j, err := s.manager.Submit(req)
+		switch {
+		case err == ErrQueueFull:
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case err == ErrShuttingDown:
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case err != nil:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		default:
+			w.Header().Set("Location", "/v1/jobs/"+j.id)
+			writeJSON(w, http.StatusAccepted, j.Status())
+		}
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []JobStatus `json:"jobs"`
+		}{s.manager.List()})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+// handleJob serves GET /v1/jobs/{id} and GET /v1/jobs/{id}/trace.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	j, ok := s.manager.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	switch sub {
+	case "":
+		writeJSON(w, http.StatusOK, j.Status())
+	case "trace":
+		s.handleTrace(w, r, j)
+	default:
+		writeError(w, http.StatusNotFound, "no resource %q under job %q", sub, id)
+	}
+}
+
+// traceResponse is the GET /v1/jobs/{id}/trace body: one page of the
+// live down-sampled power trace. Clients follow a running job by
+// re-requesting with offset=next_offset until state is terminal.
+type traceResponse struct {
+	ID         string        `json:"id"`
+	State      JobState      `json:"state"`
+	Samples    []TraceSample `json:"samples"`
+	NextOffset int           `json:"next_offset"`
+	// Dropped counts samples lost after the buffer cap; nonzero means
+	// the job outran MaxTraceSamples.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request, j *Job) {
+	q := r.URL.Query()
+	offset := 0
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad offset %q", v)
+			return
+		}
+		offset = n
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	samples, next, dropped := j.trace.Page(offset, limit)
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, traceResponse{
+		ID: j.id, State: state, Samples: samples, NextOffset: next, Dropped: dropped,
+	})
+}
+
+// healthzResponse is the GET /healthz body.
+type healthzResponse struct {
+	Status    string `json:"status"`
+	Workers   int    `json:"workers"`
+	QueueLen  int    `json:"queue_len"`
+	QueueCap  int    `json:"queue_cap"`
+	JobsKnown int    `json:"jobs_known"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.manager.mu.Lock()
+	known := len(s.manager.jobs)
+	draining := s.manager.draining
+	s.manager.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, healthzResponse{
+		Status:    status,
+		Workers:   s.cfg.Workers,
+		QueueLen:  s.manager.QueueLen(),
+		QueueCap:  s.cfg.QueueDepth,
+		JobsKnown: known,
+	})
+}

@@ -1,0 +1,66 @@
+package telemetry
+
+import "testing"
+
+// The hot-path contract: once a handle is resolved with Vec.With, every
+// update is a handful of atomic operations and zero heap allocations.
+// The engine step loop relies on this — it calls Set/Inc/Observe tens of
+// millions of times per simulated run.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("steps_total", "", "job").With("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if allocs := testing.AllocsPerRun(1000, c.Inc); allocs != 0 {
+		b.Fatalf("Counter.Inc allocates %.0f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("power_watts", "", "job", "domain").With("bench", "cpu")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { g.Set(1.5) }); allocs != 0 {
+		b.Fatalf("Gauge.Set allocates %.0f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("job_seconds", "", ExpBuckets(0.001, 2, 16)).With()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 0.001)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { h.Observe(0.042) }); allocs != 0 {
+		b.Fatalf("Histogram.Observe allocates %.0f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkCounterIncParallel exercises contention on one series from
+// all procs — the CAS loop under fire.
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("steps_total", "").With()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkVecWith measures the label-resolution slow path (the one to
+// keep out of hot loops).
+func BenchmarkVecWith(b *testing.B) {
+	vec := NewRegistry().Gauge("power_watts", "", "job", "domain")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vec.With("job-1", "cpu").Set(1)
+	}
+}

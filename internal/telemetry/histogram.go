@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// histogram is the state behind one histogram series: per-bucket atomic
+// counters (cumulated only at render time), plus sum and count. Observe
+// is wait-free for the bucket/count increments and lock-free (CAS) for
+// the float sum.
+type histogram struct {
+	// upper[i] is the inclusive upper bound of bucket i; the final
+	// +Inf bucket is implicit at index len(upper).
+	upper  []float64
+	counts []atomicFloat // len(upper)+1, integral values
+	sum    atomicFloat
+	count  atomicFloat
+}
+
+func newHistogram(upper []float64) *histogram {
+	return &histogram{upper: upper, counts: make([]atomicFloat, len(upper)+1)}
+}
+
+// DefBuckets mirrors the Prometheus default buckets: suitable for
+// latencies in seconds from ~1 ms to ~10 s.
+func DefBuckets() []float64 {
+	return []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// HistogramVec is a family of histograms with shared buckets.
+type HistogramVec struct{ f *family }
+
+// Histogram registers (or fetches) a histogram family. Buckets are upper
+// bounds; they are sorted and deduplicated, and the +Inf bucket is
+// implicit. Nil or empty buckets fall back to DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefBuckets()
+	}
+	b := append([]float64(nil), buckets...)
+	sort.Float64s(b)
+	dedup := b[:1]
+	for _, v := range b[1:] {
+		if v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	f := r.register(name, help, KindHistogram, dedup, labels)
+	if len(f.buckets) != len(dedup) {
+		panic(fmt.Sprintf("telemetry: histogram %q re-registered with different buckets", name))
+	}
+	for i := range dedup {
+		if f.buckets[i] != dedup[i] {
+			panic(fmt.Sprintf("telemetry: histogram %q re-registered with different buckets", name))
+		}
+	}
+	return &HistogramVec{f: f}
+}
+
+// With resolves the histogram for a label-value tuple. Resolve once and
+// keep the handle: Observe on the handle is allocation-free.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return (*Histogram)(v.f.with(labelValues))
+}
+
+// Histogram is one labelled histogram series.
+type Histogram series
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	st := h.hist
+	// Binary search for the first bucket whose upper bound admits v.
+	lo, hi := 0, len(st.upper)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.upper[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	st.counts[lo].Add(1)
+	st.sum.Add(v)
+	st.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() float64 { return h.hist.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.hist.sum.Load() }

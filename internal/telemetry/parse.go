@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the sample name (for histograms, the _bucket/_sum/_count
+	// expansion, not the family name).
+	Name string
+	// Labels holds the label pairs in order of appearance (including a
+	// histogram's "le").
+	Labels [][2]string
+	Value  float64
+}
+
+// Label returns the value of the named label, or "".
+func (s Sample) Label(name string) string {
+	for _, kv := range s.Labels {
+		if kv[0] == name {
+			return kv[1]
+		}
+	}
+	return ""
+}
+
+// ParseText parses Prometheus text exposition format — the subset this
+// package renders plus anything structurally equivalent — and returns
+// the samples in order. It is a validating parser: malformed lines,
+// samples without a preceding TYPE, and TYPE/sample name mismatches are
+// errors. It exists so tests (and Go clients of hcapp-serve) can consume
+// /metrics without a Prometheus dependency.
+func ParseText(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out []Sample
+	types := map[string]Kind{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				if len(fields) < 3 {
+					return nil, fmt.Errorf("telemetry: line %d: truncated %s comment", lineNo, fields[1])
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) != 4 {
+						return nil, fmt.Errorf("telemetry: line %d: TYPE wants name and kind", lineNo)
+					}
+					k := Kind(fields[3])
+					if k != KindCounter && k != KindGauge && k != KindHistogram && k != "summary" && k != "untyped" {
+						return nil, fmt.Errorf("telemetry: line %d: unknown metric type %q", lineNo, fields[3])
+					}
+					types[fields[2]] = k
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+		}
+		if familyOf(s.Name, types) == "" {
+			return nil, fmt.Errorf("telemetry: line %d: sample %q without a # TYPE declaration", lineNo, s.Name)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// familyOf maps a sample name back to its declared family, accounting
+// for histogram suffix expansion.
+func familyOf(name string, types map[string]Kind) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && types[base] == KindHistogram {
+			return base
+		}
+	}
+	return ""
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value on sample line %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		if s.Labels, err = parseLabels(rest[1:end]); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	// A trailing timestamp (one extra integer field) is legal in the
+	// format; this package never emits one but tolerates it.
+	if len(fields) != 1 && len(fields) != 2 {
+		return s, fmt.Errorf("want value [timestamp] after name in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("nan", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(s string) ([][2]string, error) {
+	var out [][2]string
+	for s != "" {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair missing '=' in %q", s)
+		}
+		name := strings.TrimSpace(s[:eq])
+		if name != "le" && !validLabelName(name) {
+			return nil, fmt.Errorf("invalid label name %q", name)
+		}
+		s = strings.TrimSpace(s[eq+1:])
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("label value for %q not quoted", name)
+		}
+		// Find the closing quote, honouring backslash escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated label value for %q", name)
+		}
+		val, err := unescapeLabel(s[1:end])
+		if err != nil {
+			return nil, fmt.Errorf("label %q: %w", name, err)
+		}
+		out = append(out, [2]string{name, val})
+		s = strings.TrimSpace(s[end+1:])
+		s = strings.TrimPrefix(s, ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+func unescapeLabel(s string) (string, error) {
+	if !strings.Contains(s, `\`) {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("dangling backslash")
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// GatherMap flattens parsed samples into a map keyed by
+// "name{k=v,...}" (labels sorted by name) — convenient for asserting on
+// specific series in tests.
+func GatherMap(samples []Sample) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		labels := append([][2]string(nil), s.Labels...)
+		sort.Slice(labels, func(i, j int) bool { return labels[i][0] < labels[j][0] })
+		var b strings.Builder
+		b.WriteString(s.Name)
+		if len(labels) > 0 {
+			b.WriteString("{")
+			for i, kv := range labels {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, "%s=%s", kv[0], kv[1])
+			}
+			b.WriteString("}")
+		}
+		out[b.String()] = s.Value
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every family in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, series sorted by label
+// values, histogram buckets cumulated with the implicit +Inf bucket.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.names))
+	for _, n := range r.names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		series := f.snapshot()
+		if len(series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range series {
+			if f.kind == KindHistogram {
+				writeHistogram(bw, f, s)
+				continue
+			}
+			writeSample(bw, f.name, f.labels, s.labelValues, "", "", s.val.Load())
+		}
+	}
+	return bw.Flush()
+}
+
+// Text renders the registry to a string (tests, debugging).
+func (r *Registry) Text() string {
+	var b strings.Builder
+	r.WriteText(&b) // strings.Builder never errors
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the registry in text
+// exposition format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+func writeHistogram(w io.Writer, f *family, s *series) {
+	cum := 0.0
+	for i, ub := range s.hist.upper {
+		cum += s.hist.counts[i].Load()
+		writeSample(w, f.name+"_bucket", f.labels, s.labelValues, "le", formatFloat(ub), cum)
+	}
+	cum += s.hist.counts[len(s.hist.upper)].Load()
+	writeSample(w, f.name+"_bucket", f.labels, s.labelValues, "le", "+Inf", cum)
+	writeSample(w, f.name+"_sum", f.labels, s.labelValues, "", "", s.hist.sum.Load())
+	writeSample(w, f.name+"_count", f.labels, s.labelValues, "", "", s.hist.count.Load())
+}
+
+// writeSample emits one exposition line; extraK/extraV append a trailing
+// label (the histogram "le").
+func writeSample(w io.Writer, name string, labels, values []string, extraK, extraV string, val float64) {
+	io.WriteString(w, name)
+	if len(labels) > 0 || extraK != "" {
+		io.WriteString(w, "{")
+		for i, l := range labels {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			// %q escapes backslash, quote and newline — exactly the
+			// characters the exposition format requires escaping.
+			fmt.Fprintf(w, "%s=%q", l, values[i])
+		}
+		if extraK != "" {
+			if len(labels) > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, "%s=%q", extraK, extraV)
+		}
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, " ")
+	io.WriteString(w, formatFloat(val))
+	io.WriteString(w, "\n")
+}
+
+// formatFloat renders a sample value the way Prometheus clients do.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.Counter("jobs_total", "Jobs.", "state")
+	done := vec.With("done")
+	failed := vec.With("failed")
+	done.Inc()
+	done.Add(2)
+	failed.Inc()
+	if got := done.Value(); got != 3 {
+		t.Fatalf("done = %g, want 3", got)
+	}
+	if got := failed.Value(); got != 1 {
+		t.Fatalf("failed = %g, want 1", got)
+	}
+	if vec.With("done") != done {
+		t.Fatal("With not idempotent")
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c_total", "").With().Add(-1)
+}
+
+func TestGaugeBasics(t *testing.T) {
+	g := NewRegistry().Gauge("power_watts", "Power.", "domain").With("cpu")
+	g.Set(42.5)
+	g.Add(-2.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 40 {
+		t.Fatalf("gauge = %g, want 40", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("lat_seconds", "", []float64{1, 2, 4}).With()
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %g, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %g, want 106", h.Sum())
+	}
+	st := (*series)(h).hist
+	want := []float64{2, 1, 1, 1} // (-inf,1], (1,2], (2,4], (4,+inf)
+	for i, w := range want {
+		if got := st.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %g, want %g", i, got, w)
+		}
+	}
+}
+
+func TestSchemaMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m_total", "", "a")
+	for _, tc := range []func(){
+		func() { reg.Gauge("m_total", "", "a") },
+		func() { reg.Counter("m_total", "", "b") },
+		func() { reg.Counter("m_total", "", "a", "b") },
+		func() { reg.Counter("m_total", "").With("x") },
+		func() { reg.Counter("bad name", "") },
+		func() { reg.Counter("ok_total", "", "bad label") },
+		func() { reg.Histogram("h", "", []float64{1}, "le") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("schema violation did not panic")
+				}
+			}()
+			tc()
+		}()
+	}
+}
+
+func TestRenderAndParseRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hcapp_steps_total", "Engine steps.", "job")
+	c.With("j1").Add(100)
+	c.With("j2").Add(50)
+	g := reg.Gauge("hcapp_domain_power_watts", "Per-domain power.", "job", "domain")
+	g.With("j1", "cpu").Set(33.25)
+	g.With("j1", `we"ird\na"me`).Set(1)
+	h := reg.Histogram("hcapp_job_seconds", "Job wall time.", []float64{0.1, 1})
+	h.With().Observe(0.05)
+	h.With().Observe(0.5)
+	h.With().Observe(30)
+
+	text := reg.Text()
+	for _, want := range []string{
+		"# TYPE hcapp_steps_total counter",
+		"# TYPE hcapp_domain_power_watts gauge",
+		"# TYPE hcapp_job_seconds histogram",
+		`hcapp_steps_total{job="j1"} 100`,
+		`hcapp_domain_power_watts{job="j1",domain="cpu"} 33.25`,
+		`hcapp_job_seconds_bucket{le="+Inf"} 3`,
+		"hcapp_job_seconds_sum 30.55",
+		"hcapp_job_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered text missing %q:\n%s", want, text)
+		}
+	}
+
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, text)
+	}
+	m := GatherMap(samples)
+	if m["hcapp_steps_total{job=j2}"] != 50 {
+		t.Fatalf("parsed j2 = %g, want 50", m["hcapp_steps_total{job=j2}"])
+	}
+	if m["hcapp_domain_power_watts{domain=cpu,job=j1}"] != 33.25 {
+		t.Fatalf("parsed power = %g", m["hcapp_domain_power_watts{domain=cpu,job=j1}"])
+	}
+	if m[`hcapp_domain_power_watts{domain=we"ird\na"me,job=j1}`] != 1 {
+		t.Fatalf("escaped label did not round-trip: %v", m)
+	}
+	if m["hcapp_job_seconds_bucket{le=0.1}"] != 1 || m["hcapp_job_seconds_bucket{le=1}"] != 2 {
+		t.Fatalf("cumulative buckets wrong: %v", m)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, text := range []string{
+		"orphan_sample 1\n",                             // no TYPE
+		"# TYPE x counter\nx nope\n",                    // bad value
+		"# TYPE x counter\nx{a=\"unterminated} 1\n",     // bad labels
+		"# TYPE x counter\nx{a=unquoted} 1\n",           // unquoted value
+		"# TYPE x wat\nx 1\n",                           // unknown kind
+		"# TYPE x counter\nx 1 2 3\n",                   // trailing junk
+		"# TYPE x histogram\nx_bucket{le=\"+Inf\"} z\n", // bad bucket value
+	} {
+		if _, err := ParseText(strings.NewReader(text)); err == nil {
+			t.Fatalf("ParseText accepted malformed input %q", text)
+		}
+	}
+}
+
+func TestParseToleratesTimestamp(t *testing.T) {
+	samples, err := ParseText(strings.NewReader("# TYPE x counter\nx 1 1700000000\n"))
+	if err != nil || len(samples) != 1 || samples[0].Value != 1 {
+		t.Fatalf("timestamped sample: %v %v", samples, err)
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("inf_gauge", "").With().Set(math.Inf(1))
+	reg.Gauge("nan_gauge", "").With().Set(math.NaN())
+	samples, err := ParseText(strings.NewReader(reg.Text()))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	m := GatherMap(samples)
+	if !math.IsInf(m["inf_gauge"], 1) {
+		t.Fatalf("inf_gauge = %g", m["inf_gauge"])
+	}
+	if !math.IsNaN(m["nan_gauge"]) {
+		t.Fatalf("nan_gauge = %g", m["nan_gauge"])
+	}
+}
+
+// TestConcurrentUpdates hammers one registry from many goroutines — the
+// -race CI gate proves the sharded lookup and atomic value paths are
+// data-race free, and the final counts prove no lost updates.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.Counter("hits_total", "", "worker")
+	gvec := reg.Gauge("depth", "", "worker")
+	hvec := reg.Histogram("obs_seconds", "", []float64{0.5}, "worker")
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			c := vec.With(name)
+			g := gvec.With(name)
+			h := hvec.With(name)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i % 2))
+				if i%100 == 0 { // concurrent scrape while writing
+					reg.Text()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		name := string(rune('a' + w))
+		if got := vec.With(name).Value(); got != perWorker {
+			t.Fatalf("worker %s count = %g, want %d", name, got, perWorker)
+		}
+		if got := hvec.With(name).Count(); got != perWorker {
+			t.Fatalf("worker %s observations = %g, want %d", name, got, perWorker)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
