@@ -53,8 +53,10 @@ type JobRequest struct {
 	// DurMS is the target duration in milliseconds (default 2, capped
 	// by the server's MaxDurMS).
 	DurMS float64 `json:"dur_ms,omitempty"`
-	// Seed drives workload generation (default 42, the paper's seed).
-	Seed int64 `json:"seed,omitempty"`
+	// Seed drives workload generation. Omitted (null) means the
+	// paper's seed, 42; an explicit 0 is honoured as seed 0, matching a
+	// direct experiment run with that seed.
+	Seed *int64 `json:"seed,omitempty"`
 	// Priorities maps domain name → software priority (§5.3).
 	Priorities map[string]float64 `json:"priorities,omitempty"`
 	// AdversarialAccel enables the §3.3.3 adversarial local controller.
@@ -102,6 +104,7 @@ type Job struct {
 	req     JobRequest
 	spec    experiment.RunSpec
 	dur     sim.Time
+	seed    int64 // resolved from req.Seed (nil → 42)
 	state   JobState
 	err     string
 	result  *JobResult

@@ -59,8 +59,9 @@ func (mgr *Manager) Submit(req JobRequest) (*Job, error) {
 		mgr.metrics.jobsRejected.Inc()
 		return nil, err
 	}
-	if req.Seed == 0 {
-		req.Seed = 42
+	seed := int64(42) // the paper's seed
+	if req.Seed != nil {
+		seed = *req.Seed
 	}
 
 	stepsPerSample := int(mgr.cfg.TraceSampleEvery / mgr.cfg.TimeStep())
@@ -69,40 +70,45 @@ func (mgr *Manager) Submit(req JobRequest) (*Job, error) {
 		req:     req,
 		spec:    spec,
 		dur:     dur,
+		seed:    seed,
 		state:   StateQueued,
 		created: time.Now(),
 		trace:   newTraceBuffer(stepsPerSample, mgr.cfg.MaxTraceSamples),
 	}
 
+	// The whole admission — draining check, capacity check, table insert
+	// — happens under mgr.mu, making it atomic with respect to
+	// Shutdown's close(mgr.queue): a Submit that passed the draining
+	// check cannot race the close and send on a closed channel, and a
+	// full queue is detected before the job touches the table, so there
+	// is no rollback to get wrong. The send never blocks (it is a
+	// non-blocking select), so holding the lock across it is cheap.
 	mgr.mu.Lock()
 	if mgr.draining {
 		mgr.mu.Unlock()
 		mgr.metrics.jobsRejected.Inc()
 		return nil, ErrShuttingDown
 	}
+	select {
+	case mgr.queue <- j:
+	default:
+		mgr.mu.Unlock()
+		mgr.metrics.jobsRejected.Inc()
+		return nil, ErrQueueFull
+	}
 	mgr.jobs[j.id] = j
 	mgr.order = append(mgr.order, j.id)
 	mgr.evictLocked()
 	mgr.mu.Unlock()
 
-	select {
-	case mgr.queue <- j:
-	default:
-		mgr.mu.Lock()
-		delete(mgr.jobs, j.id)
-		mgr.order = mgr.order[:len(mgr.order)-1]
-		mgr.mu.Unlock()
-		mgr.metrics.jobsRejected.Inc()
-		return nil, ErrQueueFull
-	}
 	mgr.metrics.jobsSubmitted.Inc()
-	mgr.metrics.queueDepth.Set(float64(len(mgr.queue)))
 	return j, nil
 }
 
 // evictLocked drops the oldest finished jobs beyond the retention cap,
-// bounding both the job table and metric cardinality over a long
-// serving life. Callers hold mgr.mu.
+// deleting each evicted job's metric series so both the job table and
+// /metrics cardinality stay bounded over a long serving life. Callers
+// hold mgr.mu.
 func (mgr *Manager) evictLocked() {
 	for len(mgr.order) > mgr.cfg.MaxJobs {
 		evicted := false
@@ -114,6 +120,7 @@ func (mgr *Manager) evictLocked() {
 			if terminal {
 				delete(mgr.jobs, id)
 				mgr.order = append(mgr.order[:i], mgr.order[i+1:]...)
+				mgr.metrics.dropJob(id)
 				evicted = true
 				break
 			}
@@ -155,7 +162,6 @@ func (mgr *Manager) List() []JobStatus {
 func (mgr *Manager) worker() {
 	defer mgr.wg.Done()
 	for j := range mgr.queue {
-		mgr.metrics.queueDepth.Set(float64(len(mgr.queue)))
 		mgr.runJob(j)
 	}
 }
@@ -176,7 +182,7 @@ func (mgr *Manager) runJob(j *Job) {
 	// One evaluator per job: evaluators are cheap, carry the run cache
 	// we do not want shared, and isolate all mutable simulation state.
 	ev := experiment.NewEvaluator().WithTargetDur(j.dur)
-	ev.Cfg.Seed = j.req.Seed
+	ev.Cfg.Seed = j.seed
 	info := jobSpecInfo{limit: j.spec.Limit}
 	if !isFixed(j.spec) {
 		info.target = experiment.TargetPowerFor(j.spec.Limit)

@@ -44,6 +44,10 @@ func newMetrics() *metrics {
 			"Jobs finished, by terminal state.", "state"),
 		jobsViolated: reg.Counter("hcapp_jobs_violated_total",
 			"Finished jobs whose run exceeded its power limit.").With(),
+		// queueDepth is not touched on the submit/dequeue paths —
+		// Server.handleMetrics derives it from the live channel length
+		// at scrape time, so the exported value is exact at every
+		// scrape instead of drifting between racy update points.
 		queueDepth: reg.Gauge("hcapp_jobs_queue_depth",
 			"Jobs waiting for a worker.").With(),
 		jobsRunning: reg.Gauge("hcapp_jobs_running",
@@ -67,6 +71,21 @@ func newMetrics() *metrics {
 		httpRequests: reg.Counter("hcapp_http_requests_total",
 			"API requests served.", "handler"),
 	}
+}
+
+// dropJob deletes every per-job series when the manager evicts a job,
+// so the retention cap genuinely bounds /metrics cardinality instead of
+// leaking one series set per job over a long serving life. The evicted
+// job is terminal, so no observer will resurrect its series.
+func (m *metrics) dropJob(jobID string) {
+	match := map[string]string{"job": jobID}
+	m.simSteps.DeletePartialMatch(match)
+	m.simTime.DeletePartialMatch(match)
+	m.pkgPower.DeletePartialMatch(match)
+	m.domPower.DeletePartialMatch(match)
+	m.domVolt.DeletePartialMatch(match)
+	m.limit.DeletePartialMatch(match)
+	m.target.DeletePartialMatch(match)
 }
 
 // metricsFlushEvery is how many engine steps a job observer batches

@@ -21,8 +21,9 @@ type Config struct {
 	// MaxDur caps a single job's target duration (default 64 ms of
 	// simulated time — ~30 s of wall clock on one core).
 	MaxDur sim.Time
-	// MaxJobs bounds the retained job table, and with it /metrics
-	// cardinality (default 256; oldest finished jobs evicted first).
+	// MaxJobs bounds the retained job table (default 256; oldest
+	// finished jobs evicted first). Evicting a job also deletes its
+	// per-job metric series, so this bounds /metrics cardinality too.
 	MaxJobs int
 	// TraceSampleEvery is the live trace down-sampling bucket in
 	// simulated time (default 10 µs).
@@ -79,7 +80,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/jobs", s.counted("jobs", s.handleJobs))
 	s.mux.HandleFunc("/v1/jobs/", s.counted("job", s.handleJob))
 	s.mux.HandleFunc("/healthz", s.counted("healthz", s.handleHealthz))
-	s.mux.Handle("/metrics", s.countedHandler("metrics", m.reg.Handler()))
+	s.mux.Handle("/metrics", s.countedHandler("metrics", s.metricsHandler()))
 	return s
 }
 
@@ -98,6 +99,18 @@ func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
 		c.Inc()
 		h(w, r)
 	}
+}
+
+// metricsHandler refreshes scrape-derived gauges before rendering the
+// registry. Queue depth is read from the live channel here rather than
+// maintained on the enqueue/dequeue paths, where updates race each
+// other (and the rejection path) and let the gauge drift.
+func (s *Server) metricsHandler() http.Handler {
+	render := s.metrics.reg.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.queueDepth.Set(float64(s.manager.QueueLen()))
+		render.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) countedHandler(name string, h http.Handler) http.Handler {

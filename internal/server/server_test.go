@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -15,6 +16,9 @@ import (
 	"hcapp/internal/sim"
 	"hcapp/internal/telemetry"
 )
+
+// seedOf builds the explicit-seed pointer JobRequest.Seed wants.
+func seedOf(v int64) *int64 { return &v }
 
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
@@ -91,7 +95,7 @@ func TestEndToEnd(t *testing.T) {
 	}
 	_, ts := testServer(t, Config{Workers: 2})
 
-	req := JobRequest{Combo: "Mid-Mid", Scheme: "hcapp", Limit: "package-pin", DurMS: 1, Seed: 42}
+	req := JobRequest{Combo: "Mid-Mid", Scheme: "hcapp", Limit: "package-pin", DurMS: 1, Seed: seedOf(42)}
 	st, resp := postJob(t, ts, req)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("POST status = %d", resp.StatusCode)
@@ -322,7 +326,7 @@ func TestListOrdersNewestFirst(t *testing.T) {
 	_, ts := testServer(t, Config{Workers: 2})
 	var ids []string
 	for i := 0; i < 3; i++ {
-		st, resp := postJob(t, ts, JobRequest{Combo: "Low-Low", DurMS: 0.2, Seed: int64(i + 1)})
+		st, resp := postJob(t, ts, JobRequest{Combo: "Low-Low", DurMS: 0.2, Seed: seedOf(int64(i + 1))})
 		if resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("POST %d: %d", i, resp.StatusCode)
 		}
@@ -376,13 +380,13 @@ func TestEvictionBoundsJobTable(t *testing.T) {
 		t.Skip("runs simulations")
 	}
 	s, ts := testServer(t, Config{Workers: 1, MaxJobs: 2, QueueDepth: 8})
-	var last string
+	var ids []string
 	for i := 0; i < 4; i++ {
-		st, resp := postJob(t, ts, JobRequest{Combo: "Low-Low", DurMS: 0.1, Seed: int64(i + 1)})
+		st, resp := postJob(t, ts, JobRequest{Combo: "Low-Low", DurMS: 0.1, Seed: seedOf(int64(i + 1))})
 		if resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("POST %d: %d", i, resp.StatusCode)
 		}
-		last = st.ID
+		ids = append(ids, st.ID)
 		waitForJob(t, ts, st.ID)
 	}
 	s.manager.mu.Lock()
@@ -391,7 +395,93 @@ func TestEvictionBoundsJobTable(t *testing.T) {
 	if n > 2 {
 		t.Fatalf("job table grew to %d, cap 2", n)
 	}
-	if _, ok := s.Manager().Get(last); !ok {
+	if _, ok := s.Manager().Get(ids[len(ids)-1]); !ok {
 		t.Fatal("newest job evicted")
+	}
+
+	// Eviction must also delete the evicted jobs' metric series — the
+	// retention cap is what bounds /metrics cardinality.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	samples, err := telemetry.ParseText(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := telemetry.GatherMap(samples)
+	for _, id := range ids {
+		_, retained := s.Manager().Get(id)
+		if got := len(keysLike(m, id)) > 0; got != retained {
+			t.Errorf("job %s: retained=%v but has metric series=%v (%v)",
+				id, retained, got, keysLike(m, id))
+		}
+	}
+}
+
+// TestSeedResolution: an omitted seed defaults to the paper's 42, and an
+// explicit 0 stays 0 so served results match a direct seed-0 run.
+func TestSeedResolution(t *testing.T) {
+	s, _ := testServer(t, Config{Workers: 1})
+	j, err := s.Manager().Submit(JobRequest{Combo: "Low-Low", DurMS: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.seed != 42 {
+		t.Fatalf("default seed = %d, want 42", j.seed)
+	}
+	j0, err := s.Manager().Submit(JobRequest{Combo: "Low-Low", DurMS: 0.05, Seed: seedOf(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j0.seed != 0 {
+		t.Fatalf("explicit seed 0 resolved to %d", j0.seed)
+	}
+}
+
+// TestSubmitShutdownRace hammers Submit concurrently with Shutdown: the
+// admission path must never send on the closed queue (a panic under the
+// old unlocked enqueue), accepted jobs must all drain, and losers must
+// see ErrShuttingDown or ErrQueueFull — nothing else.
+func TestSubmitShutdownRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	for round := 0; round < 4; round++ {
+		s := New(Config{Workers: 2, QueueDepth: 2})
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		var accepted sync.Map
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 16; i++ {
+					j, err := s.Manager().Submit(JobRequest{Combo: "Low-Low", DurMS: 0.05})
+					switch err {
+					case nil:
+						accepted.Store(j.id, j)
+					case ErrQueueFull, ErrShuttingDown:
+					default:
+						t.Errorf("submit: %v", err)
+					}
+				}
+			}()
+		}
+		close(start)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		if err := s.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+		cancel()
+		wg.Wait()
+		accepted.Range(func(_, v any) bool {
+			if st := v.(*Job).Status(); st.State != StateDone {
+				t.Errorf("accepted job %s ended %q: %s", st.ID, st.State, st.Error)
+			}
+			return true
+		})
 	}
 }

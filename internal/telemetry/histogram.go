@@ -78,6 +78,16 @@ func (v *HistogramVec) With(labelValues ...string) *Histogram {
 	return (*Histogram)(v.f.with(labelValues))
 }
 
+// Delete drops the series for an exact label-value tuple; see
+// CounterVec.Delete for semantics.
+func (v *HistogramVec) Delete(labelValues ...string) bool { return v.f.remove(labelValues) }
+
+// DeletePartialMatch drops every series whose labels agree with match;
+// see CounterVec.DeletePartialMatch for semantics.
+func (v *HistogramVec) DeletePartialMatch(match map[string]string) int {
+	return v.f.removeMatching(match)
+}
+
 // Histogram is one labelled histogram series.
 type Histogram series
 

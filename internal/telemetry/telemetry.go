@@ -12,7 +12,10 @@
 //   - label resolution (Vec.With) is a sharded hash-map lookup guarded by
 //     per-shard RWMutexes, so concurrent jobs publishing under different
 //     label sets do not serialize on one lock;
-//   - rendering walks a consistent snapshot without stopping writers.
+//   - rendering walks a consistent snapshot without stopping writers;
+//   - series can be deleted (Vec.Delete, Vec.DeletePartialMatch), so a
+//     long-lived server can bound label cardinality by dropping series
+//     it retires (e.g. all of an evicted job's metrics).
 //
 // Typical use:
 //
@@ -152,6 +155,66 @@ func (f *family) with(values []string) *series {
 	return s
 }
 
+// remove deletes the series for an exact label-value tuple, reporting
+// whether it existed.
+func (f *family) remove(values []string) bool {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %q wants %d label value(s), got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	sh := &f.shards[fnv1a(key)&(numShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.series[key]; !ok {
+		return false
+	}
+	delete(sh.series, key)
+	return true
+}
+
+// removeMatching deletes every series whose labels agree with match
+// (label name → required value), returning how many were dropped. A
+// label name the family does not carry matches nothing.
+func (f *family) removeMatching(match map[string]string) int {
+	idxs := make([]int, 0, len(match))
+	vals := make([]string, 0, len(match))
+	for name, v := range match {
+		i := -1
+		for k, l := range f.labels {
+			if l == name {
+				i = k
+				break
+			}
+		}
+		if i < 0 {
+			return 0
+		}
+		idxs = append(idxs, i)
+		vals = append(vals, v)
+	}
+	n := 0
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		for key, s := range sh.series {
+			matched := true
+			for k, li := range idxs {
+				if s.labelValues[li] != vals[k] {
+					matched = false
+					break
+				}
+			}
+			if matched {
+				delete(sh.series, key)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // snapshot returns the family's series sorted by label values.
 func (f *family) snapshot() []*series {
 	var out []*series
@@ -274,6 +337,20 @@ func (v *CounterVec) With(labelValues ...string) *Counter {
 	return (*Counter)(v.f.with(labelValues))
 }
 
+// Delete drops the series for an exact label-value tuple, reporting
+// whether it existed. Previously resolved handles keep working but
+// update a detached series that never renders again; a later With for
+// the same tuple starts a fresh series at zero.
+func (v *CounterVec) Delete(labelValues ...string) bool { return v.f.remove(labelValues) }
+
+// DeletePartialMatch drops every series whose labels agree with match
+// (label name → required value), returning how many were dropped —
+// e.g. all of a job's series across its label cardinality. See Delete
+// for the effect on outstanding handles.
+func (v *CounterVec) DeletePartialMatch(match map[string]string) int {
+	return v.f.removeMatching(match)
+}
+
 // Counter is one labelled counter series.
 type Counter series
 
@@ -302,6 +379,16 @@ func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
 // With resolves the gauge for a label-value tuple.
 func (v *GaugeVec) With(labelValues ...string) *Gauge {
 	return (*Gauge)(v.f.with(labelValues))
+}
+
+// Delete drops the series for an exact label-value tuple; see
+// CounterVec.Delete for semantics.
+func (v *GaugeVec) Delete(labelValues ...string) bool { return v.f.remove(labelValues) }
+
+// DeletePartialMatch drops every series whose labels agree with match;
+// see CounterVec.DeletePartialMatch for semantics.
+func (v *GaugeVec) DeletePartialMatch(match map[string]string) int {
+	return v.f.removeMatching(match)
 }
 
 // Gauge is one labelled gauge series.

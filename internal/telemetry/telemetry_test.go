@@ -217,6 +217,77 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 }
 
+func TestDeleteSeries(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.Gauge("power_watts", "", "job", "domain")
+	vec.With("j1", "cpu").Set(1)
+	vec.With("j1", "gpu").Set(2)
+	vec.With("j2", "cpu").Set(3)
+	cvec := reg.Counter("steps_total", "", "job")
+	cvec.With("j1").Add(9)
+	hvec := reg.Histogram("lat_seconds", "", []float64{1}, "job")
+	hvec.With("j1").Observe(0.5)
+
+	if !vec.Delete("j1", "cpu") {
+		t.Fatal("Delete missed an existing series")
+	}
+	if vec.Delete("j1", "cpu") {
+		t.Fatal("double Delete reported success")
+	}
+	if n := vec.DeletePartialMatch(map[string]string{"job": "j1"}); n != 1 {
+		t.Fatalf("DeletePartialMatch dropped %d series, want 1", n)
+	}
+	if n := vec.DeletePartialMatch(map[string]string{"node": "x"}); n != 0 {
+		t.Fatalf("label the family does not carry matched %d series", n)
+	}
+	if n := cvec.DeletePartialMatch(map[string]string{"job": "j1"}); n != 1 {
+		t.Fatalf("counter DeletePartialMatch dropped %d, want 1", n)
+	}
+	if !hvec.Delete("j1") {
+		t.Fatal("histogram Delete missed an existing series")
+	}
+
+	text := reg.Text()
+	if strings.Contains(text, `job="j1"`) {
+		t.Fatalf("deleted series still rendered:\n%s", text)
+	}
+	if !strings.Contains(text, `power_watts{job="j2",domain="cpu"} 3`) {
+		t.Fatalf("unrelated series lost:\n%s", text)
+	}
+	// Re-creating a deleted tuple starts a fresh series at zero.
+	if v := vec.With("j1", "cpu").Value(); v != 0 {
+		t.Fatalf("recreated series = %g, want 0", v)
+	}
+}
+
+// TestConcurrentDelete races With/update, Delete and rendering — the
+// -race CI gate proves series removal is safe against the hot path.
+func TestConcurrentDelete(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.Counter("hits_total", "", "job")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				id := string(rune('a' + (i+w)%8))
+				vec.With(id).Inc()
+				switch i % 9 {
+				case 3:
+					vec.Delete(id)
+				case 6:
+					vec.DeletePartialMatch(map[string]string{"job": id})
+				}
+				if i%100 == 0 {
+					reg.Text()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 func TestExpBuckets(t *testing.T) {
 	got := ExpBuckets(1, 2, 4)
 	want := []float64{1, 2, 4, 8}
