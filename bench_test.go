@@ -336,6 +336,9 @@ func TestInstrumentedStepOverhead(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing comparison skipped in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates the telemetry ops being priced")
+	}
 	cfg := hcapp.DefaultConfig()
 	combo, err := hcapp.ComboByName("Hi-Hi")
 	if err != nil {

@@ -41,14 +41,22 @@ func main() {
 	queue := flag.Int("queue", 32, "job queue depth (back-pressure bound)")
 	maxDurMS := flag.Float64("max-dur", 64, "maximum per-job target duration, simulated ms")
 	maxJobs := flag.Int("max-jobs", 256, "retained job table size")
-	drain := flag.Duration("drain", 2*time.Minute, "graceful shutdown drain budget")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock budget; exceeding it fails the job with a timeout reason (0 disables)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown drain budget")
+	drainAlias := flag.Duration("drain", 0, "deprecated alias for -drain-timeout")
 	flag.Parse()
+
+	drain := drainTimeout
+	if *drainAlias > 0 {
+		drain = drainAlias
+	}
 
 	srv := server.New(server.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		MaxDur:     sim.Time(*maxDurMS * float64(sim.Millisecond)),
 		MaxJobs:    *maxJobs,
+		JobTimeout: *jobTimeout,
 	})
 
 	httpSrv := &http.Server{

@@ -21,7 +21,9 @@ import (
 
 	"hcapp/internal/config"
 	"hcapp/internal/experiment"
+	"hcapp/internal/fault"
 	"hcapp/internal/sim"
+	"hcapp/internal/telemetry"
 )
 
 // experimentIDs is the registry of runnable experiment ids, in the
@@ -30,7 +32,7 @@ var experimentIDs = []string{
 	"table1", "table2", "table3",
 	"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"scaling", "policies", "centralized", "locals", "clocking", "thermal",
-	"adversarial", "faults", "vreff", "retarget", "seeds", "checks",
+	"adversarial", "faults", "fault-sweep", "vreff", "retarget", "seeds", "checks",
 }
 
 // notInAll lists registry ids excluded from "all": the seed sweep
@@ -193,6 +195,20 @@ func run(ev *experiment.Evaluator, id, comboName string) error {
 			return err
 		}
 		fmt.Print(experiment.RenderFaultInjection(combo, results))
+	case "fault-sweep":
+		combo, err := experiment.ComboByName(comboName)
+		if err != nil {
+			return err
+		}
+		sweep, err := ev.RunFaultSweep(combo, config.PackagePinLimit(), 0, ev.Cfg.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderFaultSweep(sweep))
+		reg := telemetry.NewRegistry()
+		sweep.Publish(fault.NewMetrics(reg))
+		fmt.Println("\nResilience counters (Prometheus text):")
+		fmt.Print(reg.Text())
 	case "vreff":
 		return render(ev.AblationVREfficiency())
 	case "retarget":

@@ -105,6 +105,10 @@ func (a *Accel) Progress() float64 {
 // CompletionTime returns when the accelerator finished, or -1.
 func (a *Accel) CompletionTime() sim.Time { return a.doneAt }
 
+// DoneWork returns the gigabytes hashed so far (continuous-load
+// throughput; Progress is meaningless with a zero work pool).
+func (a *Accel) DoneWork() float64 { return a.doneWork }
+
 // LastPower returns the power drawn on the most recent step.
 func (a *Accel) LastPower() float64 { return a.lastPower }
 

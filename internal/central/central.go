@@ -49,6 +49,24 @@ type Config struct {
 	// DeadBand is the fractional band around the target inside which no
 	// action is taken; zero defaults to 0.03.
 	DeadBand float64
+	// Telemetry, when non-nil, models the health of the metric-collection
+	// path: each tick the controller asks it whether a domain's sample
+	// actually arrived and how old it is. The fault injector
+	// (internal/fault) implements this; nil means a perfect network.
+	Telemetry TelemetrySource
+	// HoldoverMaxAge bounds how stale a domain's telemetry may grow
+	// before the controller stops trusting it and parks the domain at
+	// PrioMin (fail-safe). Inside the bound the domain's last good
+	// utility is held. Zero defaults to 4× the derived control period.
+	HoldoverMaxAge sim.Time
+}
+
+// TelemetrySource reports, per control tick, whether a domain's metric
+// sample survived the collection network and how stale it is. age is the
+// sample's age at delivery (0 = fresh); delivered=false means the sample
+// was lost entirely.
+type TelemetrySource interface {
+	TelemetrySample(now sim.Time, domain string) (age sim.Time, delivered bool)
 }
 
 // Controller is a sched.Supervisor implementing centralized control.
@@ -60,6 +78,13 @@ type Controller struct {
 	prevProgress map[string]float64
 	prevTime     sim.Time
 	actions      int64
+
+	// Telemetry-holdover state (Config.Telemetry set): the last good
+	// utility per domain, when it was observed, and resilience tallies.
+	heldUtility   map[string]float64
+	lastGood      map[string]sim.Time
+	holdoverTicks int64
+	failsafeTicks int64
 }
 
 // New builds the controller, deriving its period from the collection
@@ -98,15 +123,23 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.DeadBand < 0 || cfg.DeadBand >= 1 {
 		return nil, fmt.Errorf("central: dead band %g invalid", cfg.DeadBand)
 	}
+	if cfg.HoldoverMaxAge < 0 {
+		return nil, fmt.Errorf("central: negative holdover age bound %d", cfg.HoldoverMaxAge)
+	}
 	period, err := cfg.Network.MinControlPeriod(cfg.Nodes, cfg.Floor)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Telemetry != nil && cfg.HoldoverMaxAge == 0 {
+		cfg.HoldoverMaxAge = 4 * period
 	}
 	c := &Controller{
 		cfg:          cfg,
 		period:       period,
 		prios:        make(map[string]float64, len(cfg.Domains)),
 		prevProgress: make(map[string]float64, len(cfg.Domains)),
+		heldUtility:  make(map[string]float64, len(cfg.Domains)),
+		lastGood:     make(map[string]sim.Time, len(cfg.Domains)),
 	}
 	for _, d := range cfg.Domains {
 		c.prios[d] = 1.0
@@ -128,6 +161,14 @@ func (c *Controller) Period() sim.Time { return c.period }
 
 // Actions reports the number of allocation changes made.
 func (c *Controller) Actions() int64 { return c.actions }
+
+// HoldoverTicks reports how many per-domain decisions reused a held
+// (stale but in-bound) utility because telemetry was lost or delayed.
+func (c *Controller) HoldoverTicks() int64 { return c.holdoverTicks }
+
+// FailsafeTicks reports how many per-domain decisions parked a domain
+// at PrioMin because its telemetry aged past the holdover bound.
+func (c *Controller) FailsafeTicks() int64 { return c.failsafeTicks }
 
 // Priorities exposes the current allocation (for tests and traces).
 func (c *Controller) Priorities() map[string]float64 {
@@ -156,6 +197,34 @@ func (c *Controller) Tick(now sim.Time, eng *sched.Engine) {
 		if comp == nil {
 			continue
 		}
+		if c.cfg.Telemetry != nil {
+			age, delivered := c.cfg.Telemetry.TelemetrySample(now, name)
+			if !delivered {
+				age = now - c.lastGood[name]
+			} else if age > 0 {
+				// A delayed sample did arrive: it moves the last-good
+				// marker to its origin time, not to now.
+				if t := now - age; t > c.lastGood[name] {
+					c.lastGood[name] = t
+				}
+			}
+			if !delivered || age > 0 {
+				if age > c.cfg.HoldoverMaxAge {
+					// Past the age bound the controller cannot tell what
+					// this domain is doing; park it at the allocation
+					// floor rather than act on fiction.
+					c.prios[name] = c.cfg.PrioMin
+					c.failsafeTicks++
+					continue
+				}
+				// Bounded-age holdover: reuse the last good utility so
+				// the allocator keeps a sane ordering.
+				c.holdoverTicks++
+				states = append(states, domState{name: name, utility: c.heldUtility[name]})
+				continue
+			}
+			c.lastGood[name] = now
+		}
 		prog := comp.Progress()
 		var watts float64
 		if pr, ok := comp.(powerReporter); ok {
@@ -166,6 +235,7 @@ func (c *Controller) Tick(now sim.Time, eng *sched.Engine) {
 			utility = (prog - c.prevProgress[name]) / dtSec / watts
 		}
 		c.prevProgress[name] = prog
+		c.heldUtility[name] = utility
 		states = append(states, domState{name: name, utility: utility})
 	}
 	c.prevTime = now

@@ -1,0 +1,130 @@
+package central
+
+import (
+	"testing"
+
+	"hcapp/internal/sim"
+)
+
+// scriptedTelemetry is a programmable TelemetrySource: per-domain loss
+// and a uniform delivery age, mutable between engine phases.
+type scriptedTelemetry struct {
+	lost map[string]bool
+	age  sim.Time
+}
+
+func (s *scriptedTelemetry) TelemetrySample(_ sim.Time, domain string) (sim.Time, bool) {
+	if s.lost[domain] {
+		return 0, false
+	}
+	return s.age, true
+}
+
+func TestTelemetryHoldoverWithinBound(t *testing.T) {
+	src := &scriptedTelemetry{lost: map[string]bool{}}
+	cfg := baseConfig()
+	cfg.TargetPower = 90
+	cfg.Telemetry = src
+	cfg.HoldoverMaxAge = 10 * sim.Millisecond // never exceeded here
+	ctl := MustNew(cfg)
+	eng, _, _ := buildEngine(t, ctl, 50, 50)
+
+	// Healthy phase establishes last-good utilities for both domains.
+	eng.RunFor(sim.Millisecond)
+	if ctl.HoldoverTicks() != 0 || ctl.FailsafeTicks() != 0 {
+		t.Fatalf("healthy phase counted holdover %d / failsafe %d",
+			ctl.HoldoverTicks(), ctl.FailsafeTicks())
+	}
+
+	// Lose domain b entirely, well inside the age bound: every decision
+	// about b is a holdover, none a fail-safe, and b keeps competing on
+	// its held utility instead of being parked at the floor.
+	src.lost["b"] = true
+	eng.RunFor(sim.Millisecond)
+	if ctl.HoldoverTicks() == 0 {
+		t.Fatal("no holdover ticks while b's telemetry was lost in-bound")
+	}
+	if ctl.FailsafeTicks() != 0 {
+		t.Fatalf("fail-safe engaged %d times inside the age bound", ctl.FailsafeTicks())
+	}
+}
+
+func TestTelemetryFailSafePastBound(t *testing.T) {
+	src := &scriptedTelemetry{lost: map[string]bool{"b": true}}
+	cfg := baseConfig()
+	cfg.TargetPower = 200 // under target: healthy domains get boosted
+	cfg.Telemetry = src
+	cfg.HoldoverMaxAge = 40 * sim.Microsecond // two control periods
+	ctl := MustNew(cfg)
+	eng, _, _ := buildEngine(t, ctl, 50, 50)
+
+	eng.RunFor(sim.Millisecond)
+	if ctl.FailsafeTicks() == 0 {
+		t.Fatal("fail-safe never engaged though b was dark past the bound")
+	}
+	floor := ctl.cfg.PrioMin // defaults resolved by New
+	prios := ctl.Priorities()
+	if prios["b"] != floor {
+		t.Fatalf("dark domain at %g, want parked at PrioMin %g", prios["b"], floor)
+	}
+	if prios["a"] <= prios["b"] {
+		t.Fatalf("healthy domain not preferred over dark one: %v", prios)
+	}
+
+	// Telemetry returns: fresh samples re-arm the domain and the
+	// fail-safe counter stops advancing.
+	src.lost["b"] = false
+	atRecovery := ctl.FailsafeTicks()
+	eng.RunFor(sim.Millisecond)
+	if got := ctl.FailsafeTicks(); got != atRecovery {
+		t.Fatalf("fail-safe kept counting after recovery: %d -> %d", atRecovery, got)
+	}
+	if p := ctl.Priorities()["b"]; p <= floor {
+		t.Fatalf("recovered domain still parked at %g", p)
+	}
+}
+
+func TestTelemetryDelayedSamplesAreHoldover(t *testing.T) {
+	src := &scriptedTelemetry{lost: map[string]bool{}}
+	cfg := baseConfig()
+	cfg.TargetPower = 90
+	cfg.Telemetry = src
+	cfg.HoldoverMaxAge = 500 * sim.Microsecond
+	ctl := MustNew(cfg)
+	eng, _, _ := buildEngine(t, ctl, 50, 50)
+
+	eng.RunFor(sim.Millisecond)
+	// Every delivery now arrives stale but within the bound: decisions
+	// for both domains become holdovers, never fail-safes. A delayed
+	// sample also refreshes the last-good marker (to its origin time),
+	// so the age never compounds past the bound.
+	src.age = 100 * sim.Microsecond
+	eng.RunFor(2 * sim.Millisecond)
+	if ctl.HoldoverTicks() == 0 {
+		t.Fatal("stale deliveries not counted as holdover")
+	}
+	if ctl.FailsafeTicks() != 0 {
+		t.Fatalf("in-bound stale deliveries hit fail-safe %d times", ctl.FailsafeTicks())
+	}
+
+	// Delay past the bound: the controller must stop trusting the data.
+	src.age = sim.Millisecond
+	eng.RunFor(sim.Millisecond)
+	if ctl.FailsafeTicks() == 0 {
+		t.Fatal("fail-safe never engaged on out-of-bound sample age")
+	}
+}
+
+func TestTelemetryConfigDefaultsAndValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Telemetry = &scriptedTelemetry{}
+	ctl := MustNew(cfg)
+	// Zero HoldoverMaxAge with telemetry modeled defaults to 4 periods.
+	if want := 4 * ctl.Period(); ctl.cfg.HoldoverMaxAge != want {
+		t.Fatalf("default holdover age %v, want %v", ctl.cfg.HoldoverMaxAge, want)
+	}
+	cfg.HoldoverMaxAge = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative holdover age accepted")
+	}
+}

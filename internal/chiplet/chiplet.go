@@ -164,6 +164,11 @@ func (c *Chiplet) Progress() float64 {
 // CompletionTime returns when the chiplet finished, or -1 if it has not.
 func (c *Chiplet) CompletionTime() sim.Time { return c.doneAt }
 
+// DoneWork returns the work (instructions) completed so far — the
+// throughput measure for continuous-load runs, whose zero work pool
+// makes Progress meaningless.
+func (c *Chiplet) DoneWork() float64 { return c.doneWork }
+
 // Units returns the unit count.
 func (c *Chiplet) Units() int { return len(c.units) }
 

@@ -24,6 +24,30 @@ type Domain struct {
 	out        float64
 	lastTarget float64
 	commanded  bool
+
+	// Watchdog state (EnableWatchdog): the domain controller "pets" the
+	// watchdog every healthy Step; StepSilent lets it starve.
+	wd        WatchdogConfig
+	silentFor sim.Time
+	tripped   bool
+	trips     int64
+}
+
+// WatchdogConfig arms a per-domain hardware watchdog: if the level-2
+// controller goes silent (stops retargeting its regulator) for longer
+// than Timeout, the watchdog drives the domain regulator to FailSafeV
+// so a hung controller cannot strand its chiplet at an arbitrary — and
+// possibly unsafe — operating point. After the controller resumes, the
+// domain recovers to its commanded target within the regulator's
+// transition time plus |target − FailSafeV| / SlewRate (the bound
+// documented in docs/FAULTS.md and enforced by TestWatchdogRecoveryBound).
+type WatchdogConfig struct {
+	// Timeout is the maximum controller silence before the watchdog
+	// trips. Zero leaves the watchdog disarmed.
+	Timeout sim.Time
+	// FailSafeV is the voltage driven on a trip; zero defaults to the
+	// domain's VMin (the safe-side floor).
+	FailSafeV float64
 }
 
 // NewDomain constructs a domain controller for one chiplet.
@@ -70,10 +94,48 @@ func (d *Domain) SetPriority(p float64) {
 	d.priority = p
 }
 
+// EnableWatchdog arms the domain watchdog.
+func (d *Domain) EnableWatchdog(cfg WatchdogConfig) {
+	if cfg.FailSafeV == 0 {
+		cfg.FailSafeV = d.cfg.VMin
+	}
+	d.wd = cfg
+}
+
+// WatchdogTrips returns how many times the watchdog has fired.
+func (d *Domain) WatchdogTrips() int64 { return d.trips }
+
+// WatchdogTripped reports whether the watchdog currently holds the
+// domain at its fail-safe voltage.
+func (d *Domain) WatchdogTripped() bool { return d.tripped }
+
+// StepSilent advances the domain with its controller hung (the
+// DomainSilence fault): no new target is computed, the physical
+// regulator keeps settling toward whatever was last commanded, and the
+// watchdog — armed via EnableWatchdog — starves. Once silence exceeds
+// the watchdog timeout, the regulator is driven to the fail-safe
+// voltage.
+func (d *Domain) StepSilent(now sim.Time, dt sim.Time) float64 {
+	d.silentFor += dt
+	if d.wd.Timeout > 0 && d.silentFor >= d.wd.Timeout && !d.tripped {
+		d.tripped = true
+		d.trips++
+		d.reg.Command(now, d.wd.FailSafeV)
+		// Record the fail-safe as the standing target so a resuming
+		// controller re-commands even if its computed target matches the
+		// pre-silence one.
+		d.lastTarget = d.wd.FailSafeV
+	}
+	d.out = d.reg.Step(now, dt)
+	return d.out
+}
+
 // Step computes the new domain voltage from the (PSN-delayed) global
 // voltage and advances the domain regulator by one engine step of dt,
 // returning the voltage delivered to the chiplet.
 func (d *Domain) Step(now sim.Time, dt sim.Time, vglobal float64) float64 {
+	d.silentFor = 0
+	d.tripped = false
 	var target float64
 	if d.cfg.Fixed {
 		// Constant-voltage domain (memory): ignore the global rail.
@@ -104,11 +166,15 @@ func (d *Domain) Output() float64 { return d.out }
 // Config returns the domain configuration.
 func (d *Domain) Config() config.DomainConfig { return d.cfg }
 
-// Reset rewinds the domain regulator and priority.
+// Reset rewinds the domain regulator, priority, and watchdog state (the
+// watchdog stays armed).
 func (d *Domain) Reset() {
 	d.reg.Reset()
 	d.priority = 1.0
 	d.out = d.cfg.VR.VInit
 	d.lastTarget = 0
 	d.commanded = false
+	d.silentFor = 0
+	d.tripped = false
+	d.trips = 0
 }

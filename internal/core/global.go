@@ -24,6 +24,28 @@ type GlobalConfig struct {
 	// approximately the average voltage expected throughout execution"
 	// (§3.1). OutMin/OutMax are the global VR's range.
 	PID pid.Config
+	// Holdover, when non-zero, arms stale-sample resilience: see
+	// HoldoverConfig.
+	Holdover HoldoverConfig
+}
+
+// HoldoverConfig arms the global controller against a sensing path that
+// stops delivering samples (sensor dropout, ADC hang). While the last
+// good sample is younger than MaxAge the controller holds its last
+// command — last-known-good holdover, no PID update, so stale data
+// cannot wind up the integrator. Once the age bound is exceeded the
+// controller stops trusting the sensing path entirely and commands
+// FailSafeV: with the rail at the fail-safe floor the package
+// physically cannot exceed its cap, which is the only guarantee
+// available without a sensor.
+type HoldoverConfig struct {
+	// MaxAge bounds how stale the held sample may grow before fail-safe
+	// engages. Zero disables holdover (legacy behaviour: stale samples
+	// are consumed as if fresh).
+	MaxAge sim.Time
+	// FailSafeV is the voltage commanded past the age bound; zero
+	// defaults to the PID's OutMin (the regulator floor).
+	FailSafeV float64
 }
 
 // Validate reports whether the configuration is usable.
@@ -33,6 +55,9 @@ func (c GlobalConfig) Validate() error {
 	}
 	if c.TargetPower <= 0 {
 		return fmt.Errorf("core: non-positive power target %g", c.TargetPower)
+	}
+	if c.Holdover.MaxAge < 0 {
+		return fmt.Errorf("core: negative holdover age bound %d", c.Holdover.MaxAge)
 	}
 	return c.PID.Validate()
 }
@@ -50,6 +75,11 @@ type Global struct {
 	accum    float64 // ∑ sensed power over the current control window
 	samples  int64
 	lastAvg  float64
+
+	// Stale-sample resilience counters (Holdover armed).
+	holdoverCycles int64
+	failsafeCycles int64
+	inFailsafe     bool
 }
 
 // NewGlobal constructs the controller.
@@ -101,6 +131,16 @@ func VErr(pspec, pnow float64) float64 { return math.Cbrt(pspec - pnow) }
 // the RAPL-like and SW-like variants neither react inside bursts nor
 // over-throttle after them (paper §5.2's ferret discussion).
 func (g *Global) Step(now sim.Time, sensedPower float64, reg *vr.Regulator) bool {
+	return g.StepSensed(now, sensedPower, 0, reg)
+}
+
+// StepSensed is Step with the sensing path's sample age attached: age
+// is the simulated time since the last sample actually arrived (0 for
+// a healthy path). With Holdover armed, a control cycle decided on a
+// stale sample holds the last command instead of updating the PID, and
+// a cycle whose staleness exceeds the holdover bound commands the
+// fail-safe voltage. With Holdover disarmed, age is ignored.
+func (g *Global) StepSensed(now sim.Time, sensedPower float64, age sim.Time, reg *vr.Regulator) bool {
 	g.accum += sensedPower
 	g.samples++
 	if now < g.nextFire {
@@ -110,6 +150,33 @@ func (g *Global) Step(now sim.Time, sensedPower float64, reg *vr.Regulator) bool
 	avg := g.accum / float64(g.samples)
 	g.accum, g.samples = 0, 0
 	g.lastAvg = avg
+	if g.cfg.Holdover.MaxAge > 0 && age > 0 {
+		g.cycles++
+		if age > g.cfg.Holdover.MaxAge {
+			// Past the age bound: the sensing path is gone; drop to the
+			// fail-safe floor where the cap holds without measurement.
+			vsafe := g.cfg.Holdover.FailSafeV
+			if vsafe == 0 {
+				vsafe = g.cfg.PID.OutMin
+			}
+			reg.Command(now, vsafe)
+			g.lastCmd = vsafe
+			g.failsafeCycles++
+			g.inFailsafe = true
+			return true
+		}
+		// Bounded-age holdover: keep the last command, skip the PID so
+		// the integrator never winds up on replayed data.
+		reg.Command(now, g.lastCmd)
+		g.holdoverCycles++
+		return true
+	}
+	if g.inFailsafe {
+		// Fresh samples are back; restart the PID cleanly rather than
+		// integrating across the outage.
+		g.pid.Reset()
+		g.inFailsafe = false
+	}
 	errV := VErr(g.cfg.TargetPower, avg)
 	v := g.pid.Update(errV, sim.Seconds(g.cfg.Period))
 	reg.Command(now, v)
@@ -117,6 +184,21 @@ func (g *Global) Step(now sim.Time, sensedPower float64, reg *vr.Regulator) bool
 	g.cycles++
 	return true
 }
+
+// NotifyOverrideRelease tells the controller an external override (the
+// package safety clamp) just released the rail. The PID restarts
+// cleanly: while the override held the rail down, the sensed power it
+// observed was an artifact of the override, and integrating it would
+// carry windup into the recovery.
+func (g *Global) NotifyOverrideRelease() { g.pid.Reset() }
+
+// HoldoverCycles returns how many control cycles were decided on held
+// (stale but in-bound) samples.
+func (g *Global) HoldoverCycles() int64 { return g.holdoverCycles }
+
+// FailsafeCycles returns how many control cycles commanded the
+// fail-safe voltage because the sample age bound was exceeded.
+func (g *Global) FailsafeCycles() int64 { return g.failsafeCycles }
 
 // LastWindowPower returns the mean power the controller saw over its
 // most recent completed control window.
@@ -136,4 +218,7 @@ func (g *Global) Reset() {
 	g.cycles = 0
 	g.accum, g.samples = 0, 0
 	g.lastAvg = 0
+	g.holdoverCycles = 0
+	g.failsafeCycles = 0
+	g.inFailsafe = false
 }

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+
+	"hcapp/internal/config"
+	"hcapp/internal/pid"
+	"hcapp/internal/sim"
+	"hcapp/internal/vr"
+)
+
+const resDT = 100 * sim.Nanosecond
+
+func watchdogDomain(t *testing.T, wd WatchdogConfig) *Domain {
+	t.Helper()
+	d := MustDomain("dom", config.DomainConfig{
+		Scale: 1.0, VMin: 0.6, VMax: 1.2,
+		VR: vr.RegulatorConfig{
+			VMin: 0.6, VMax: 1.2, VInit: 0.95,
+			TransitionTime: 130 * sim.Nanosecond, SlewRate: 5e6,
+		},
+	})
+	d.EnableWatchdog(wd)
+	return d
+}
+
+func TestWatchdogTripsOnSilence(t *testing.T) {
+	timeout := 5 * sim.Microsecond
+	d := watchdogDomain(t, WatchdogConfig{Timeout: timeout})
+	now := sim.Time(0)
+	// Healthy steps at 1.1 V: the regulator follows, watchdog stays fed.
+	for i := 0; i < 100; i++ {
+		now += resDT
+		d.Step(now, resDT, 1.1)
+	}
+	if d.WatchdogTripped() {
+		t.Fatal("watchdog tripped during healthy stepping")
+	}
+	// Hang the controller: the trip must land once silence reaches the
+	// timeout, and the regulator must settle at the fail-safe floor
+	// (VMin, the default).
+	steps := int(timeout/resDT) + 50
+	for i := 0; i < steps; i++ {
+		now += resDT
+		d.StepSilent(now, resDT)
+	}
+	if !d.WatchdogTripped() || d.WatchdogTrips() != 1 {
+		t.Fatalf("tripped=%v trips=%d after %d silent", d.WatchdogTripped(), d.WatchdogTrips(), timeout)
+	}
+	if got := d.Output(); got != 0.6 {
+		t.Fatalf("domain at %g after trip, want fail-safe 0.6", got)
+	}
+}
+
+func TestWatchdogNotStarvedByShortSilences(t *testing.T) {
+	d := watchdogDomain(t, WatchdogConfig{Timeout: 2 * sim.Microsecond})
+	now := sim.Time(0)
+	for i := 0; i < 1000; i++ {
+		now += resDT
+		if i%10 == 9 {
+			d.Step(now, resDT, 1.0) // one pet every 9 silent steps < timeout
+		} else {
+			d.StepSilent(now, resDT)
+		}
+	}
+	if d.WatchdogTrips() != 0 {
+		t.Fatalf("watchdog tripped %d times despite sub-timeout silences", d.WatchdogTrips())
+	}
+}
+
+// TestWatchdogRecoveryBound enforces the recovery bound documented in
+// docs/FAULTS.md: after the controller resumes, the domain returns to
+// its commanded target within TransitionTime + |target − FailSafeV| /
+// SlewRate.
+func TestWatchdogRecoveryBound(t *testing.T) {
+	d := watchdogDomain(t, WatchdogConfig{Timeout: 2 * sim.Microsecond})
+	vrCfg := d.Config().VR
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		now += resDT
+		d.Step(now, resDT, 1.1)
+	}
+	for i := 0; i < 100; i++ { // well past the 20-step timeout
+		now += resDT
+		d.StepSilent(now, resDT)
+	}
+	if !d.WatchdogTripped() {
+		t.Fatal("setup: watchdog did not trip")
+	}
+	// Controller resumes, targeting 1.1 V.
+	target := 1.1
+	bound := vrCfg.TransitionTime +
+		sim.Time(((target-d.wd.FailSafeV)/vrCfg.SlewRate)*1e9) +
+		2*resDT // discretization slack: one step to re-command, one to settle
+	resumed := now
+	for d.Output() != target {
+		now += resDT
+		d.Step(now, resDT, target)
+		if now-resumed > bound {
+			t.Fatalf("domain at %g, not recovered within bound %v", d.Output(), bound)
+		}
+	}
+	if d.WatchdogTripped() {
+		t.Fatal("trip flag survived recovery")
+	}
+}
+
+func globalWithHoldover(t *testing.T, maxAge sim.Time) (*Global, *vr.Regulator) {
+	t.Helper()
+	g := MustGlobal(GlobalConfig{
+		Period:      sim.Microsecond,
+		TargetPower: 86,
+		PID: pid.Config{
+			KP: 0.006, KI: 2500, FeedForward: 0.95,
+			OutMin: 0.6, OutMax: 1.2, OverGain: 12,
+		},
+		Holdover: HoldoverConfig{MaxAge: maxAge},
+	})
+	reg := vr.MustRegulator(vr.RegulatorConfig{
+		VMin: 0.6, VMax: 1.2, VInit: 0.95,
+		TransitionTime: 150 * sim.Nanosecond, SlewRate: 5e6,
+	})
+	return g, reg
+}
+
+// driveGlobal advances the controller by whole control cycles, feeding
+// the same sensed power and sample age every step.
+func driveGlobal(g *Global, reg *vr.Regulator, start sim.Time, cycles int, sensed float64, age sim.Time) sim.Time {
+	now := start
+	period := g.Config().Period
+	for fired := 0; fired < cycles; {
+		now += resDT
+		if g.StepSensed(now, sensed, age, reg) {
+			fired++
+		}
+		_ = period
+	}
+	return now
+}
+
+func TestHoldoverHoldsLastCommand(t *testing.T) {
+	g, reg := globalWithHoldover(t, 20*sim.Microsecond)
+	// Fresh cycles establish a live command.
+	now := driveGlobal(g, reg, 0, 5, 50, 0)
+	held := g.LastCommand()
+	// Stale-but-in-bound cycles: command frozen, holdover counted, and
+	// the PID must not integrate (the command cannot drift).
+	now = driveGlobal(g, reg, now, 10, 50, 5*sim.Microsecond)
+	if g.LastCommand() != held {
+		t.Fatalf("held command drifted %g -> %g", held, g.LastCommand())
+	}
+	if g.HoldoverCycles() != 10 {
+		t.Fatalf("holdover cycles %d, want 10", g.HoldoverCycles())
+	}
+	if g.FailsafeCycles() != 0 {
+		t.Fatalf("failsafe engaged with in-bound age")
+	}
+	_ = now
+}
+
+func TestHoldoverFailSafePastAgeBound(t *testing.T) {
+	g, reg := globalWithHoldover(t, 20*sim.Microsecond)
+	now := driveGlobal(g, reg, 0, 5, 50, 0)
+	now = driveGlobal(g, reg, now, 3, 50, 30*sim.Microsecond) // past bound
+	if g.FailsafeCycles() != 3 {
+		t.Fatalf("failsafe cycles %d, want 3", g.FailsafeCycles())
+	}
+	if g.LastCommand() != 0.6 {
+		t.Fatalf("fail-safe commanded %g, want PID OutMin 0.6", g.LastCommand())
+	}
+	// Fresh samples return: the controller resumes PID control from a
+	// clean state instead of integrating across the outage.
+	driveGlobal(g, reg, now, 5, 50, 0)
+	if g.LastCommand() == 0.6 {
+		t.Fatal("controller still at fail-safe after fresh samples returned")
+	}
+}
+
+func TestHoldoverDisarmedIgnoresAge(t *testing.T) {
+	g, reg := globalWithHoldover(t, 0) // MaxAge 0: legacy behaviour
+	driveGlobal(g, reg, 0, 5, 50, 90*sim.Microsecond)
+	if g.HoldoverCycles() != 0 || g.FailsafeCycles() != 0 {
+		t.Fatalf("disarmed holdover counted (%d, %d)", g.HoldoverCycles(), g.FailsafeCycles())
+	}
+}
+
+func TestHoldoverConfigValidate(t *testing.T) {
+	cfg := GlobalConfig{
+		Period: sim.Microsecond, TargetPower: 86,
+		PID:      pid.Config{KP: 0.006, KI: 2500, FeedForward: 0.95, OutMin: 0.6, OutMax: 1.2},
+		Holdover: HoldoverConfig{MaxAge: -1},
+	}
+	if _, err := NewGlobal(cfg); err == nil {
+		t.Fatal("negative holdover age accepted")
+	}
+}

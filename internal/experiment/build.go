@@ -8,6 +8,7 @@ import (
 	"hcapp/internal/config"
 	"hcapp/internal/core"
 	"hcapp/internal/cpusim"
+	"hcapp/internal/fault"
 	"hcapp/internal/gpusim"
 	"hcapp/internal/pid"
 	"hcapp/internal/psn"
@@ -115,6 +116,18 @@ type BuildOptions struct {
 	// VoltageMargin selects guardbanded clocking instead of adaptive
 	// clocking on the CPU and GPU chiplets (§3.5).
 	VoltageMargin float64
+	// Injector attaches a deterministic fault injector to the engine
+	// step loop (internal/fault); nil costs one pointer compare per step.
+	Injector *fault.Injector
+	// Clamp, when non-nil, arms the package-level safety clamp with this
+	// configuration (a zero CapW is filled from the power target's limit
+	// by the caller — Build does not guess).
+	Clamp *core.ClampConfig
+	// Watchdog, when Timeout > 0, arms every scalable domain's watchdog.
+	Watchdog core.WatchdogConfig
+	// Holdover, when MaxAge > 0, arms the global controller's
+	// stale-sample holdover (dynamic schemes only).
+	Holdover core.HoldoverConfig
 }
 
 // System bundles an assembled engine with handles the experiments need.
@@ -208,6 +221,7 @@ func Build(cfg config.SystemConfig, combo Combo, opts BuildOptions) (*System, er
 			Period:      opts.Scheme.ControlPeriod,
 			TargetPower: opts.TargetPower,
 			PID:         pcfg,
+			Holdover:    opts.Holdover,
 		})
 		if err != nil {
 			return nil, err
@@ -222,6 +236,9 @@ func Build(cfg config.SystemConfig, combo Combo, opts BuildOptions) (*System, er
 		}
 		if p, ok := opts.Priorities[name]; ok {
 			d.SetPriority(p)
+		}
+		if opts.Watchdog.Timeout > 0 {
+			d.EnableWatchdog(opts.Watchdog)
 		}
 		return d, nil
 	}
@@ -246,6 +263,13 @@ func Build(cfg config.SystemConfig, combo Combo, opts BuildOptions) (*System, er
 	if err != nil {
 		return nil, err
 	}
+	var clamp *core.Clamp
+	if opts.Clamp != nil {
+		clamp, err = core.NewClamp(*opts.Clamp)
+		if err != nil {
+			return nil, err
+		}
+	}
 	eng, err := sched.New(sched.Config{
 		DT:       cfg.TimeStep,
 		GlobalVR: gvr,
@@ -263,6 +287,8 @@ func Build(cfg config.SystemConfig, combo Combo, opts BuildOptions) (*System, er
 		TrackComponents: opts.TrackComponents,
 		Supervisor:      opts.Supervisor,
 		Observer:        opts.Observer,
+		Injector:        opts.Injector,
+		Clamp:           clamp,
 	})
 	if err != nil {
 		return nil, err

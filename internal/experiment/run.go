@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -151,6 +152,13 @@ func (ev *Evaluator) sizingFor(combo Combo) (Sizing, error) {
 
 // Run executes (or returns the cached result of) one spec.
 func (ev *Evaluator) Run(spec RunSpec) (RunResult, error) {
+	return ev.RunContext(context.Background(), spec)
+}
+
+// RunContext is Run under a context: a cancelled or expired context
+// stops the simulation cooperatively (within a few thousand engine
+// steps) and returns ctx.Err(). Cancelled runs are never cached.
+func (ev *Evaluator) RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
 	if ev.cache == nil {
 		ev.cache = make(map[string]RunResult)
 	}
@@ -159,6 +167,9 @@ func (ev *Evaluator) Run(spec RunSpec) (RunResult, error) {
 	}
 	if r, ok := ev.cache[spec.key()]; ok {
 		return r, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return RunResult{}, err
 	}
 
 	sizing, err := ev.sizingFor(spec.Combo)
@@ -188,7 +199,14 @@ func (ev *Evaluator) Run(spec RunSpec) (RunResult, error) {
 	}
 
 	maxDur := sim.Time(float64(ev.TargetDur) * ev.MaxDurFactor)
-	res := sys.Engine.Run(maxDur)
+	var cancelled func() bool
+	if ctx.Done() != nil {
+		cancelled = func() bool { return ctx.Err() != nil }
+	}
+	res := sys.Engine.RunWithCancel(maxDur, cancelled)
+	if err := ctx.Err(); err != nil {
+		return RunResult{}, err
+	}
 	rec := sys.Engine.Recorder()
 
 	out := RunResult{

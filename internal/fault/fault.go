@@ -1,0 +1,170 @@
+// Package fault is the deterministic fault injector for the HCAPP
+// co-simulation: a seed-driven perturbation source threaded through the
+// engine step loop (internal/sched) that breaks the substrate the
+// paper's evaluation takes for granted — true power sensors, lossless
+// telemetry collection, healthy regulators, live domain controllers.
+//
+// A Plan is a list of timed Events, each activating one fault Class over
+// a [Start, End) window of simulated time. Stochastic classes (sensor
+// dropout, telemetry loss, additive sensor noise) draw from a private
+// PRNG seeded by the plan, so the same plan and seed reproduce the same
+// perturbation sequence bit for bit — the property the fault-sweep
+// experiment's determinism test enforces. The injector is consulted by
+// the engine only when attached; a nil injector costs the step loop a
+// single pointer comparison (guarded in bench_test.go), and an attached
+// injector with no active event costs one time comparison per step.
+//
+// The resilience mechanisms the injector exercises live with the
+// components they protect: stale-sample holdover in core.Global,
+// per-domain watchdogs in core.Domain, the package safety clamp in
+// core.Clamp, and per-domain telemetry holdover in central.Controller.
+// docs/FAULTS.md documents the model and the knobs.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"hcapp/internal/sim"
+)
+
+// Class enumerates the injectable fault classes.
+type Class string
+
+// The fault classes, grouped by the path they corrupt.
+const (
+	// SensorStuck freezes the package power sample entering the sensing
+	// path at Param watts — the silent failure a capping controller must
+	// not trust (§5.1's guardband exists because sensors can lie).
+	SensorStuck Class = "sensor-stuck"
+	// SensorNoise adds zero-mean Gaussian noise with sigma Param watts
+	// to every sample entering the sensing path.
+	SensorNoise Class = "sensor-noise"
+	// SensorDropout drops each sample with probability Param in [0,1];
+	// the sensing pipeline holds its last value and the sample ages.
+	SensorDropout Class = "sensor-dropout"
+	// TelemetryLoss drops each per-domain metric delivery on the NoC
+	// collection path with probability Param in [0,1]. Domain narrows
+	// the loss to one domain; empty hits every domain.
+	TelemetryLoss Class = "telemetry-loss"
+	// TelemetryDelay delivers per-domain metric samples Param
+	// nanoseconds stale (the NoC congestion case). Domain narrows it.
+	TelemetryDelay Class = "telemetry-delay"
+	// VRSlew degrades the global regulator's slew rate to Param × nominal
+	// (Param in (0,1]) — regulator aging / thermal derating.
+	VRSlew Class = "vr-slew"
+	// RailDroop subtracts a transient Param volts from the post-PSN rail
+	// voltage seen by every domain.
+	RailDroop Class = "rail-droop"
+	// DomainSilence hangs the named Domain's level-2 controller: it
+	// stops retargeting its regulator (and stops petting its watchdog)
+	// until the event ends.
+	DomainSilence Class = "domain-silence"
+)
+
+// classes lists every valid class for validation.
+var classes = map[Class]bool{
+	SensorStuck: true, SensorNoise: true, SensorDropout: true,
+	TelemetryLoss: true, TelemetryDelay: true,
+	VRSlew: true, RailDroop: true, DomainSilence: true,
+}
+
+// Event activates one fault class over [Start, End) of simulated time.
+type Event struct {
+	Class Class
+	// Start and End bound the active window; End <= Start is invalid.
+	Start, End sim.Time
+	// Domain names the afflicted domain controller (DomainSilence;
+	// optional narrowing for the telemetry classes).
+	Domain string
+	// Param is the class-specific magnitude: stuck watts, noise sigma
+	// watts, drop/loss probability, staleness ns, slew factor, droop
+	// volts.
+	Param float64
+}
+
+// Validate reports whether the event is usable.
+func (e Event) Validate() error {
+	if !classes[e.Class] {
+		return fmt.Errorf("fault: unknown class %q", e.Class)
+	}
+	if e.Start < 0 || e.End <= e.Start {
+		return fmt.Errorf("fault: %s window [%d,%d) empty or negative", e.Class, e.Start, e.End)
+	}
+	switch e.Class {
+	case SensorDropout, TelemetryLoss:
+		if e.Param < 0 || e.Param > 1 {
+			return fmt.Errorf("fault: %s probability %g outside [0,1]", e.Class, e.Param)
+		}
+	case SensorNoise:
+		if e.Param < 0 {
+			return fmt.Errorf("fault: negative noise sigma %g", e.Param)
+		}
+	case VRSlew:
+		if e.Param <= 0 || e.Param > 1 {
+			return fmt.Errorf("fault: slew factor %g outside (0,1]", e.Param)
+		}
+	case RailDroop:
+		if e.Param < 0 {
+			return fmt.Errorf("fault: negative rail droop %g", e.Param)
+		}
+	case TelemetryDelay:
+		if e.Param <= 0 {
+			return fmt.Errorf("fault: non-positive telemetry delay %g", e.Param)
+		}
+	case DomainSilence:
+		if e.Domain == "" {
+			return fmt.Errorf("fault: domain-silence event needs a domain")
+		}
+	}
+	return nil
+}
+
+// Plan is a named, seeded fault scenario: the unit the fault-sweep
+// experiment iterates over.
+type Plan struct {
+	// Name labels the scenario in tables and metrics.
+	Name string
+	// Seed drives the injector's private PRNG. The same (Seed, Events)
+	// pair reproduces the identical perturbation sequence.
+	Seed int64
+	// Events are the timed faults; an empty list is a valid (healthy)
+	// plan.
+	Events []Event
+}
+
+// Validate reports whether every event in the plan is usable.
+func (p Plan) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("fault: plan needs a name")
+	}
+	for i, e := range p.Events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Span returns the earliest start and latest end over the plan's
+// events (0,0 for an empty plan) — the window the fault-sweep recovery
+// metric is measured after.
+func (p Plan) Span() (start, end sim.Time) {
+	for i, e := range p.Events {
+		if i == 0 || e.Start < start {
+			start = e.Start
+		}
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return start, end
+}
+
+// sortedEvents returns the events ordered by start time (stable), the
+// order the injector's cursor consumes them in.
+func sortedEvents(events []Event) []Event {
+	out := append([]Event(nil), events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

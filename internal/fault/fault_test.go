@@ -1,0 +1,239 @@
+package fault
+
+import (
+	"testing"
+
+	"hcapp/internal/sim"
+)
+
+func us(n int) sim.Time { return sim.Time(n) * sim.Microsecond }
+
+func TestEventValidate(t *testing.T) {
+	good := []Event{
+		{Class: SensorStuck, Start: 0, End: us(10), Param: 20},
+		{Class: SensorNoise, Start: us(1), End: us(2), Param: 0},
+		{Class: SensorDropout, Start: 0, End: 1, Param: 1.0},
+		{Class: TelemetryLoss, Start: 0, End: 1, Param: 0.5, Domain: "gpu"},
+		{Class: TelemetryDelay, Start: 0, End: 1, Param: 200},
+		{Class: VRSlew, Start: 0, End: 1, Param: 0.2},
+		{Class: RailDroop, Start: 0, End: 1, Param: 0.04},
+		{Class: DomainSilence, Start: 0, End: 1, Domain: "gpu"},
+	}
+	for _, e := range good {
+		if err := e.Validate(); err != nil {
+			t.Errorf("%s: unexpected error %v", e.Class, err)
+		}
+	}
+	bad := []Event{
+		{Class: "bogus", Start: 0, End: 1},
+		{Class: SensorStuck, Start: 5, End: 5},  // empty window
+		{Class: SensorStuck, Start: 5, End: 4},  // inverted
+		{Class: SensorStuck, Start: -1, End: 4}, // negative start
+		{Class: SensorDropout, Start: 0, End: 1, Param: 1.5},
+		{Class: SensorDropout, Start: 0, End: 1, Param: -0.1},
+		{Class: TelemetryLoss, Start: 0, End: 1, Param: 2},
+		{Class: SensorNoise, Start: 0, End: 1, Param: -1},
+		{Class: VRSlew, Start: 0, End: 1, Param: 0},   // zero slew factor
+		{Class: VRSlew, Start: 0, End: 1, Param: 1.5}, // above nominal
+		{Class: RailDroop, Start: 0, End: 1, Param: -0.1},
+		{Class: TelemetryDelay, Start: 0, End: 1, Param: 0},
+		{Class: DomainSilence, Start: 0, End: 1}, // missing domain
+	}
+	for _, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("%s (start=%d end=%d param=%g): expected error", e.Class, e.Start, e.End, e.Param)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{Name: "healthy"}).Validate(); err != nil {
+		t.Errorf("empty plan: %v", err)
+	}
+	if err := (Plan{}).Validate(); err == nil {
+		t.Error("nameless plan accepted")
+	}
+	p := Plan{Name: "x", Events: []Event{{Class: "bogus", Start: 0, End: 1}}}
+	if err := p.Validate(); err == nil {
+		t.Error("plan with invalid event accepted")
+	}
+	if _, err := New(p); err == nil {
+		t.Error("New accepted invalid plan")
+	}
+}
+
+func TestPlanSpan(t *testing.T) {
+	p := Plan{Name: "x", Events: []Event{
+		{Class: RailDroop, Start: us(30), End: us(40), Param: 0.01},
+		{Class: SensorStuck, Start: us(10), End: us(50), Param: 20},
+	}}
+	s, e := p.Span()
+	if s != us(10) || e != us(50) {
+		t.Fatalf("span [%d,%d), want [%d,%d)", s, e, us(10), us(50))
+	}
+	if s, e := (Plan{Name: "h"}).Span(); s != 0 || e != 0 {
+		t.Fatalf("empty plan span [%d,%d)", s, e)
+	}
+}
+
+// TestCursorActivation walks a two-event plan and checks the active
+// windows are honoured exactly at their boundaries.
+func TestCursorActivation(t *testing.T) {
+	in := MustNew(Plan{Name: "x", Seed: 1, Events: []Event{
+		{Class: RailDroop, Start: us(10), End: us(20), Param: 0.05},
+		{Class: VRSlew, Start: us(15), End: us(30), Param: 0.5},
+	}})
+	type probe struct {
+		t      sim.Time
+		active bool
+		rail   float64 // expected Rail(1.0)
+		slew   float64
+	}
+	probes := []probe{
+		{us(5), false, 1.0, 1.0},
+		{us(10), true, 0.95, 1.0},
+		{us(14), true, 0.95, 1.0},
+		{us(15), true, 0.95, 0.5},
+		{us(19), true, 0.95, 0.5},
+		{us(20), true, 1.0, 0.5}, // droop ended (End exclusive), slew still on
+		{us(29), true, 1.0, 0.5},
+		{us(30), false, 1.0, 1.0},
+		{us(100), false, 1.0, 1.0},
+	}
+	for _, p := range probes {
+		got := in.BeginStep(p.t)
+		if got != p.active {
+			t.Fatalf("t=%d: active=%v, want %v", p.t, got, p.active)
+		}
+		if !got {
+			continue
+		}
+		if v := in.Rail(1.0); v != p.rail {
+			t.Errorf("t=%d: Rail(1)=%g, want %g", p.t, v, p.rail)
+		}
+		if s := in.SlewScale(); s != p.slew {
+			t.Errorf("t=%d: SlewScale=%g, want %g", p.t, s, p.slew)
+		}
+	}
+}
+
+// TestDeterministicDraws proves the core reproducibility contract: two
+// injectors built from the same plan, and one injector re-run after
+// Reset, produce bit-identical stochastic perturbation sequences.
+func TestDeterministicDraws(t *testing.T) {
+	plan := Plan{Name: "x", Seed: 99, Events: []Event{
+		{Class: SensorNoise, Start: 0, End: us(100), Param: 3},
+		{Class: SensorDropout, Start: 0, End: us(100), Param: 0.3},
+	}}
+	sequence := func(in *Injector) []float64 {
+		var out []float64
+		for step := 0; step < 2000; step++ {
+			now := sim.Time(step) * 100 * sim.Nanosecond
+			if !in.BeginStep(now) {
+				out = append(out, -1)
+				continue
+			}
+			w, ok := in.Sense(50)
+			if !ok {
+				out = append(out, -2)
+				continue
+			}
+			out = append(out, w)
+		}
+		return out
+	}
+	a := sequence(MustNew(plan))
+	b := sequence(MustNew(plan))
+	in := MustNew(plan)
+	_ = sequence(in)
+	in.Reset()
+	c := sequence(in)
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("step %d: sequences diverge (%g, %g, %g)", i, a[i], b[i], c[i])
+		}
+	}
+	cnt := MustNew(plan)
+	_ = sequence(cnt)
+	counts := cnt.Counts()
+	if counts.SenseDropped == 0 || counts.SensePerturbed == 0 {
+		t.Fatalf("expected both drop and perturb counts, got %+v", counts)
+	}
+	// Events span [0, 100µs): the first 1000 of the 2000 probed steps.
+	// Every active step either drops or perturbs (noise always on).
+	if counts.SenseDropped+counts.SensePerturbed != 1000 {
+		t.Fatalf("drop+perturb = %d, want 1000", counts.SenseDropped+counts.SensePerturbed)
+	}
+}
+
+func TestSeedChangesDraws(t *testing.T) {
+	mk := func(seed int64) Plan {
+		return Plan{Name: "x", Seed: seed, Events: []Event{
+			{Class: SensorNoise, Start: 0, End: us(10), Param: 5},
+		}}
+	}
+	a, b := MustNew(mk(1)), MustNew(mk(2))
+	a.BeginStep(0)
+	b.BeginStep(0)
+	wa, _ := a.Sense(50)
+	wb, _ := b.Sense(50)
+	if wa == wb {
+		t.Fatalf("different seeds produced identical noise %g", wa)
+	}
+}
+
+func TestSensorStuckOverridesSample(t *testing.T) {
+	in := MustNew(Plan{Name: "x", Events: []Event{
+		{Class: SensorStuck, Start: 0, End: us(1), Param: 20},
+	}})
+	if !in.BeginStep(0) {
+		t.Fatal("event not active at start")
+	}
+	if w, ok := in.Sense(123); !ok || w != 20 {
+		t.Fatalf("Sense = (%g, %v), want (20, true)", w, ok)
+	}
+}
+
+func TestSilencedMatchesDomain(t *testing.T) {
+	in := MustNew(Plan{Name: "x", Events: []Event{
+		{Class: DomainSilence, Start: 0, End: us(1), Domain: "gpu"},
+	}})
+	in.BeginStep(0)
+	if !in.Silenced("gpu") {
+		t.Error("gpu not silenced")
+	}
+	if in.Silenced("cpu") {
+		t.Error("cpu silenced by gpu event")
+	}
+}
+
+func TestTelemetrySample(t *testing.T) {
+	in := MustNew(Plan{Name: "x", Seed: 7, Events: []Event{
+		{Class: TelemetryLoss, Start: 0, End: us(1), Param: 1.0, Domain: "gpu"},
+		{Class: TelemetryDelay, Start: 0, End: us(1), Param: float64(us(200))},
+	}})
+	in.BeginStep(0)
+	if _, delivered := in.TelemetrySample(0, "gpu"); delivered {
+		t.Error("gpu delivery survived p=1 loss")
+	}
+	age, delivered := in.TelemetrySample(0, "cpu")
+	if !delivered || age != us(200) {
+		t.Errorf("cpu sample (age=%d, delivered=%v), want (%d, true)", age, delivered, us(200))
+	}
+	c := in.Counts()
+	if c.TelemetryLost != 1 || c.TelemetryStale == 0 {
+		t.Errorf("counts %+v", c)
+	}
+}
+
+func TestIdleInjectorReportsInactive(t *testing.T) {
+	in := MustNew(Plan{Name: "healthy", Seed: 42})
+	for step := 0; step < 100; step++ {
+		if in.BeginStep(sim.Time(step) * 100) {
+			t.Fatal("empty plan reported active")
+		}
+	}
+	if c := in.Counts(); c != (Counts{}) {
+		t.Fatalf("idle injector counted %+v", c)
+	}
+}

@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"hcapp/internal/telemetry"
+)
+
+// Metrics exports fault-injection and resilience counters through
+// internal/telemetry, one series set per scenario. The fault-sweep
+// experiment publishes into one registry per sweep; hcappsim renders it
+// after the resilience table so the counters are scrapable/parsable
+// with the same tooling as hcapp-serve's /metrics.
+type Metrics struct {
+	injected  *telemetry.CounterVec // scenario, kind
+	clamp     *telemetry.CounterVec // scenario
+	watchdog  *telemetry.CounterVec // scenario, domain
+	holdover  *telemetry.CounterVec // scenario
+	failsafes *telemetry.CounterVec // scenario
+}
+
+// NewMetrics registers the fault/recovery counter families.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		injected: reg.Counter("hcapp_faults_injected_total",
+			"Perturbations applied by the fault injector, by kind.", "scenario", "kind"),
+		clamp: reg.Counter("hcapp_clamp_trips_total",
+			"Package safety-clamp trips.", "scenario"),
+		watchdog: reg.Counter("hcapp_watchdog_trips_total",
+			"Domain watchdog trips (silent controller driven to fail-safe).", "scenario", "domain"),
+		holdover: reg.Counter("hcapp_holdover_cycles_total",
+			"Control cycles decided on held (stale) sensor or telemetry samples.", "scenario"),
+		failsafes: reg.Counter("hcapp_failsafe_cycles_total",
+			"Control cycles spent in fail-safe (holdover age bound exceeded).", "scenario"),
+	}
+}
+
+// RecordRun publishes one scenario run's fault and resilience tallies.
+func (m *Metrics) RecordRun(scenario string, c Counts, clampTrips int64, watchdogTrips map[string]int64, holdoverCycles, failsafeCycles int64) {
+	kinds := []struct {
+		kind string
+		n    int64
+	}{
+		{"sense-dropped", c.SenseDropped},
+		{"sense-perturbed", c.SensePerturbed},
+		{"telemetry-lost", c.TelemetryLost},
+		{"telemetry-stale", c.TelemetryStale},
+		{"silenced-steps", c.SilencedSteps},
+		{"rail-steps", c.RailSteps},
+		{"slew-steps", c.SlewSteps},
+	}
+	for _, k := range kinds {
+		if k.n > 0 {
+			m.injected.With(scenario, k.kind).Add(float64(k.n))
+		}
+	}
+	if clampTrips > 0 {
+		m.clamp.With(scenario).Add(float64(clampTrips))
+	}
+	for dom, n := range watchdogTrips {
+		if n > 0 {
+			m.watchdog.With(scenario, dom).Add(float64(n))
+		}
+	}
+	if holdoverCycles > 0 {
+		m.holdover.With(scenario).Add(float64(holdoverCycles))
+	}
+	if failsafeCycles > 0 {
+		m.failsafes.With(scenario).Add(float64(failsafeCycles))
+	}
+}

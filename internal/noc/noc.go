@@ -119,6 +119,9 @@ func (c Config) CollectionLatency(n int) (sim.Time, error) {
 // complete (and a command fan out, costing the same latency again)
 // within one period, and the period can never beat floor.
 func (c Config) MinControlPeriod(n int, floor sim.Time) (sim.Time, error) {
+	if floor <= 0 {
+		return 0, fmt.Errorf("noc: non-positive period floor %d", floor)
+	}
 	lat, err := c.CollectionLatency(n)
 	if err != nil {
 		return 0, err

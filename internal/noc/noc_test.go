@@ -138,6 +138,63 @@ func TestMinControlPeriod(t *testing.T) {
 	}
 }
 
+func TestMinControlPeriodDegenerate(t *testing.T) {
+	c := DefaultTree()
+	// Invalid floors are rejected before any latency math.
+	for _, floor := range []sim.Time{0, -1, -20 * sim.Microsecond} {
+		if _, err := c.MinControlPeriod(8, floor); err == nil {
+			t.Errorf("floor %d accepted", floor)
+		}
+	}
+	// Node-count and config errors propagate through MinControlPeriod.
+	for _, n := range []int{0, -1} {
+		if _, err := c.MinControlPeriod(n, sim.Microsecond); err == nil {
+			t.Errorf("node count %d accepted", n)
+		}
+	}
+	bad := DefaultTree()
+	bad.MsgSerialization = 0
+	if _, err := bad.MinControlPeriod(8, sim.Microsecond); err == nil {
+		t.Error("invalid config accepted by MinControlPeriod")
+	}
+	// Single node: gather+scatter of one report, under a sub-latency
+	// floor, is exactly twice the single-node latency.
+	lat, err := c.CollectionLatency(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.MinControlPeriod(1, sim.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2*lat {
+		t.Fatalf("single-node period %d, want 2×%d", got, lat)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero radix", Config{Radix: 0, HopLatency: 1, MsgSerialization: 1}},
+		{"negative radix", Config{Radix: -4, HopLatency: 1, MsgSerialization: 1}},
+		{"negative serialization", Config{Radix: 2, HopLatency: 1, MsgSerialization: -1}},
+		{"zero value", Config{}},
+	}
+	for _, cse := range cases {
+		if err := cse.cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", cse.name)
+		}
+	}
+	// Zero hop latency is legal (an idealized wire), unlike zero
+	// serialization.
+	ok := Config{Radix: 2, HopLatency: 0, MsgSerialization: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("zero hop latency rejected: %v", err)
+	}
+}
+
 func TestMonotoneInNodes(t *testing.T) {
 	for _, c := range []Config{DefaultTree(), DefaultBus()} {
 		prev := sim.Time(0)

@@ -1,0 +1,8 @@
+//go:build race
+
+package sched
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation disables the inlining the idle-path
+// overhead contract depends on and dwarfs the quantity being measured.
+const raceEnabled = true

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"hcapp/internal/core"
+	"hcapp/internal/fault"
 	"hcapp/internal/psn"
 	"hcapp/internal/sim"
 	"hcapp/internal/trace"
@@ -88,6 +89,15 @@ type Config struct {
 	// per-domain voltage). Costs one interface call per step plus a few
 	// stores; no allocations.
 	Observer StepObserver
+	// Injector, when non-nil, perturbs the step loop with deterministic
+	// faults (sensing-path defects, rail droop, VR degradation, domain
+	// silence); see internal/fault. A nil injector costs one pointer
+	// comparison per step (guarded in bench_test.go).
+	Injector *fault.Injector
+	// Clamp, when non-nil, is the package-level safety clamp: it runs
+	// after the global controller each step against the *true* summed
+	// power, so the cap holds even when the sensing path lies.
+	Clamp *core.Clamp
 }
 
 // Engine is the central simulation controller.
@@ -101,6 +111,15 @@ type Engine struct {
 	// obsBuf is the reusable per-step sample buffer handed to the
 	// observer (names prefilled at construction; zero allocs per step).
 	obsBuf []DomainSample
+	// lastGoodSense is when the sensing path last received a real
+	// sample (fault injection drops age the reading).
+	lastGoodSense sim.Time
+	// clampHeld tracks the safety clamp's engagement across steps to
+	// detect the release edge.
+	clampHeld bool
+	// slewDirty records that the injector degraded the global VR slew,
+	// so the restore store happens once instead of every idle step.
+	slewDirty bool
 }
 
 // New validates and builds an engine.
@@ -173,12 +192,35 @@ type completionTimer interface {
 // Run advances the simulation until every component is done or maxDur
 // elapses, whichever comes first.
 func (e *Engine) Run(maxDur sim.Time) Result {
+	return e.RunWithCancel(maxDur, nil)
+}
+
+// cancelCheckEvery is how many engine steps pass between cancellation
+// polls in RunWithCancel — coarse enough to stay off the hot path, fine
+// enough that a cancelled run stops within milliseconds of wall clock.
+const cancelCheckEvery = 4096
+
+// RunWithCancel is Run with a cooperative stop: cancelled, when
+// non-nil, is polled every cancelCheckEvery steps and a true return
+// ends the run early (Completed reports false unless every component
+// already finished). It is how the job server bounds a hung or
+// oversized simulation with a wall-clock timeout.
+func (e *Engine) RunWithCancel(maxDur sim.Time, cancelled func() bool) Result {
 	dt := e.cfg.DT
+	sinceCheck := 0
 	for e.now < maxDur {
 		e.now += dt
 		e.step()
 		if e.allDone() {
 			break
+		}
+		if cancelled != nil {
+			if sinceCheck++; sinceCheck >= cancelCheckEvery {
+				sinceCheck = 0
+				if cancelled() {
+					break
+				}
+			}
 		}
 	}
 	res := Result{
@@ -212,6 +254,26 @@ func (e *Engine) RunFor(dur sim.Time) {
 func (e *Engine) step() {
 	now, dt := e.now, e.cfg.DT
 
+	// 0. Fault injection: resolve this step's perturbations (one time
+	// comparison when the injector is attached but idle, one pointer
+	// comparison when absent).
+	inj := e.cfg.Injector
+	injActive := false
+	if inj != nil {
+		injActive = inj.BeginStep(now)
+		// The slew scale must be *restored* once a VRSlew window ends,
+		// but an idle injector must not pay a store per step — the
+		// restore happens once, on the first idle step after an active
+		// one (slewDirty).
+		if injActive {
+			e.cfg.GlobalVR.SetSlewScale(inj.SlewScale())
+			e.slewDirty = true
+		} else if e.slewDirty {
+			e.cfg.GlobalVR.SetSlewScale(1)
+			e.slewDirty = false
+		}
+	}
+
 	// 1. Global rail.
 	vglobal := e.cfg.GlobalVR.Step(now, dt)
 
@@ -219,6 +281,9 @@ func (e *Engine) step() {
 	// previous step's current draw.
 	vrail := e.cfg.PSN.Step(vglobal)
 	vrail = e.cfg.Droop.Apply(vrail, e.lastTotal)
+	if injActive {
+		vrail = inj.Rail(vrail)
+	}
 
 	// 3. Domains and components.
 	total := 0.0
@@ -226,7 +291,12 @@ func (e *Engine) step() {
 		e.cfg.Recorder.RecordComponent("voltage:rail", vrail)
 	}
 	for i, s := range e.cfg.Slots {
-		vdom := s.Domain.Step(now, dt, vrail)
+		var vdom float64
+		if injActive && inj.Silenced(s.Domain.Name()) {
+			vdom = s.Domain.StepSilent(now, dt)
+		} else {
+			vdom = s.Domain.Step(now, dt, vrail)
+		}
 		res := s.Comp.Step(now, dt, vdom)
 		total += res.Power
 		if e.cfg.TrackComponents {
@@ -244,12 +314,33 @@ func (e *Engine) step() {
 	// configuration).
 	total += e.cfg.GlobalVR.Loss(total)
 
-	// 4. Sensing path.
-	e.cfg.Sensor.Push(total)
+	// 4. Sensing path. A dropped sample never reaches the sensor (the
+	// filter holds its state) and ages the reading; a perturbed sample
+	// goes through like a real one — a stuck ADC still "delivers".
+	if injActive {
+		if sensed, ok := inj.Sense(total); ok {
+			e.cfg.Sensor.Push(sensed)
+			e.lastGoodSense = now
+		}
+	} else {
+		e.cfg.Sensor.Push(total)
+		e.lastGoodSense = now
+	}
 
-	// 5. Global control.
+	// 5. Global control, then the safety clamp — the clamp runs last and
+	// re-commands every engaged step, so no controller command can
+	// supersede it.
 	if e.cfg.Global != nil {
-		e.cfg.Global.Step(now, e.cfg.Sensor.Read(), e.cfg.GlobalVR)
+		e.cfg.Global.StepSensed(now, e.cfg.Sensor.Read(), now-e.lastGoodSense, e.cfg.GlobalVR)
+	}
+	if e.cfg.Clamp != nil {
+		engaged := e.cfg.Clamp.Step(now, total, e.cfg.GlobalVR)
+		if e.clampHeld && !engaged && e.cfg.Global != nil {
+			// Release edge: restart the PID so windup accumulated while
+			// the override poisoned the loop doesn't drive the recovery.
+			e.cfg.Global.NotifyOverrideRelease()
+		}
+		e.clampHeld = engaged
 	}
 
 	e.cfg.Recorder.Record(total)
@@ -343,7 +434,22 @@ func (e *Engine) Reset() {
 	e.cfg.Recorder.Reset()
 	e.supTicks = 0
 	e.steps = 0
+	e.lastGoodSense = 0
+	e.clampHeld = false
+	e.slewDirty = false
 	if e.cfg.Supervisor != nil {
 		e.nextSup = e.cfg.Supervisor.Period()
 	}
+	if e.cfg.Injector != nil {
+		e.cfg.Injector.Reset()
+	}
+	if e.cfg.Clamp != nil {
+		e.cfg.Clamp.Reset()
+	}
 }
+
+// Injector returns the attached fault injector, or nil.
+func (e *Engine) Injector() *fault.Injector { return e.cfg.Injector }
+
+// Clamp returns the attached package safety clamp, or nil.
+func (e *Engine) Clamp() *core.Clamp { return e.cfg.Clamp }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -166,7 +167,11 @@ func (mgr *Manager) worker() {
 	}
 }
 
-// runJob executes one simulation end to end.
+// runJob executes one simulation end to end. Failures are classified
+// for hcapp_jobs_failed_total: "timeout" (the JobTimeout bound expired
+// and cancelled the engine), "panic" (the simulation panicked — caught
+// here so one bad job cannot take down the worker pool), or "error"
+// (everything else, e.g. an invalid spec surviving to build time).
 func (mgr *Manager) runJob(j *Job) {
 	start := time.Now()
 	j.mu.Lock()
@@ -179,6 +184,13 @@ func (mgr *Manager) runJob(j *Job) {
 		mgr.metrics.jobSeconds.Observe(time.Since(start).Seconds())
 	}()
 
+	ctx := context.Background()
+	if mgr.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, mgr.cfg.JobTimeout)
+		defer cancel()
+	}
+
 	// One evaluator per job: evaluators are cheap, carry the run cache
 	// we do not want shared, and isolate all mutable simulation state.
 	ev := experiment.NewEvaluator().WithTargetDur(j.dur)
@@ -190,8 +202,13 @@ func (mgr *Manager) runJob(j *Job) {
 	obs := mgr.metrics.newJobObserver(j, info)
 	ev.Observer = obs
 
-	res, err := ev.Run(j.spec)
+	res, err := mgr.simulate(ctx, ev, j.spec)
 	obs.flush()
+
+	reason := ""
+	if err != nil {
+		reason, err = mgr.failureReason(err)
+	}
 
 	end := time.Now()
 	j.mu.Lock()
@@ -207,12 +224,44 @@ func (mgr *Manager) runJob(j *Job) {
 
 	if err != nil {
 		mgr.metrics.jobsCompleted.With(string(StateFailed)).Inc()
+		mgr.metrics.jobsFailed.With(reason).Inc()
 		return
 	}
 	mgr.metrics.jobsCompleted.With(string(StateDone)).Inc()
 	if res.Violated {
 		mgr.metrics.jobsViolated.Inc()
 	}
+}
+
+// failureReason classifies a job failure for hcapp_jobs_failed_total
+// and rewrites a context deadline into a user-facing timeout message.
+func (mgr *Manager) failureReason(err error) (string, error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout", fmt.Errorf("timeout after %s", mgr.cfg.JobTimeout)
+	case errors.As(err, new(panicError)):
+		return "panic", err
+	default:
+		return "error", err
+	}
+}
+
+// panicError wraps a recovered simulation panic so runJob can classify
+// it separately from ordinary run errors.
+type panicError struct{ val any }
+
+func (p panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// simulate runs the spec under ctx with panic containment: a panicking
+// simulation fails its own job instead of killing the worker goroutine
+// (which would silently shrink the pool for the life of the process).
+func (mgr *Manager) simulate(ctx context.Context, ev *experiment.Evaluator, spec experiment.RunSpec) (res experiment.RunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = panicError{val: r}
+		}
+	}()
+	return ev.RunContext(ctx, spec)
 }
 
 func isFixed(spec experiment.RunSpec) bool {

@@ -16,6 +16,7 @@ type metrics struct {
 	jobsSubmitted *telemetry.Counter
 	jobsRejected  *telemetry.Counter
 	jobsCompleted *telemetry.CounterVec // state
+	jobsFailed    *telemetry.CounterVec // reason
 	jobsViolated  *telemetry.Counter
 	queueDepth    *telemetry.Gauge
 	jobsRunning   *telemetry.Gauge
@@ -42,6 +43,8 @@ func newMetrics() *metrics {
 			"Job submissions rejected (invalid request or full queue).").With(),
 		jobsCompleted: reg.Counter("hcapp_jobs_completed_total",
 			"Jobs finished, by terminal state.", "state"),
+		jobsFailed: reg.Counter("hcapp_jobs_failed_total",
+			"Failed jobs, by failure reason (error, timeout, panic).", "reason"),
 		jobsViolated: reg.Counter("hcapp_jobs_violated_total",
 			"Finished jobs whose run exceeded its power limit.").With(),
 		// queueDepth is not touched on the submit/dequeue paths —

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"hcapp/internal/sim"
 )
@@ -33,6 +34,13 @@ type Config struct {
 	// SimTimeStep overrides the engine timestep used to size trace
 	// buckets; leave zero for the default system's 100 ns.
 	SimTimeStep sim.Time
+	// JobTimeout bounds one job's wall-clock simulation time. A job that
+	// exceeds it is cancelled cooperatively (the engine polls every few
+	// thousand steps) and fails with a timeout reason. Zero disables the
+	// bound — MaxDur already limits simulated time; this guards against
+	// simulations that are slow in wall clock (a hung or mis-sized run
+	// must not pin a worker forever).
+	JobTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {

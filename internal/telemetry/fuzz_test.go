@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseText drives the exposition parser with arbitrary input. The
+// parser fronts every /metrics response a test or Go client consumes,
+// so it must reject garbage with an error — never a panic, a hang, or a
+// silently accepted malformed sample. Run longer with
+//
+//	go test -fuzz=FuzzParseText ./internal/telemetry
+//
+// (scripts/ci.sh runs a short -fuzztime pass on every build).
+func FuzzParseText(f *testing.F) {
+	// Seed corpus: the shapes this package itself renders (see
+	// docs/METRICS.md) plus known edge and error cases.
+	seeds := []string{
+		"# HELP hcapp_jobs_submitted_total Jobs accepted by POST /v1/jobs.\n" +
+			"# TYPE hcapp_jobs_submitted_total counter\n" +
+			"hcapp_jobs_submitted_total 3\n",
+		"# TYPE hcapp_package_power_watts gauge\n" +
+			"hcapp_package_power_watts{job=\"a1b2\"} 85.4\n",
+		"# TYPE hcapp_jobs_failed_total counter\n" +
+			"hcapp_jobs_failed_total{reason=\"panic\"} 1\n" +
+			"hcapp_jobs_failed_total{reason=\"timeout\"} 2\n",
+		"# TYPE hcapp_job_duration_seconds histogram\n" +
+			"hcapp_job_duration_seconds_bucket{le=\"0.01\"} 0\n" +
+			"hcapp_job_duration_seconds_bucket{le=\"+Inf\"} 2\n" +
+			"hcapp_job_duration_seconds_sum 1.5\n" +
+			"hcapp_job_duration_seconds_count 2\n",
+		"# TYPE m gauge\nm{l=\"esc\\\\aped \\\"quote\\\" new\\nline\"} -7e-3\n",
+		"# TYPE m gauge\nm NaN\nm +Inf\nm -Inf\n",
+		"# TYPE m gauge\nm 1 1700000000\n",  // trailing timestamp
+		"m_without_type 1\n",                // error: no TYPE
+		"# TYPE m gauge\nm{l=\"open 1\n",    // error: unterminated value
+		"# TYPE m gauge\nm{l=broken} 1\n",   // error: unquoted value
+		"# TYPE m bogus\n",                  // error: unknown kind
+		"# TYPE m gauge\n9starts_digit 1\n", // error: bad name
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, input string) {
+		samples, err := ParseText(strings.NewReader(input))
+		if err != nil {
+			return // rejected input: fine, as long as it never panics
+		}
+		// Accepted input must satisfy the parser's own documented
+		// invariants.
+		for _, s := range samples {
+			if !validMetricName(s.Name) && familyOf(s.Name, map[string]Kind{}) == "" {
+				// Histogram expansions carry suffixes; the base name must
+				// still be a valid metric name.
+				base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(
+					s.Name, "_bucket"), "_sum"), "_count")
+				if !validMetricName(base) {
+					t.Fatalf("accepted invalid sample name %q", s.Name)
+				}
+			}
+			for _, kv := range s.Labels {
+				if kv[0] != "le" && !validLabelName(kv[0]) {
+					t.Fatalf("accepted invalid label name %q", kv[0])
+				}
+				if !utf8.ValidString(kv[1]) && utf8.ValidString(input) {
+					t.Fatalf("label value %q not UTF-8 for UTF-8 input", kv[1])
+				}
+			}
+			_ = s.Label("job")
+		}
+		// GatherMap must handle any accepted sample set.
+		if m := GatherMap(samples); len(m) > len(samples) {
+			t.Fatalf("GatherMap grew: %d keys from %d samples", len(m), len(samples))
+		}
+	})
+}

@@ -61,6 +61,12 @@ func (r *Recorder) RecordComponent(name string, p float64) {
 // Steps returns the number of recorded steps.
 func (r *Recorder) Steps() int { return len(r.total) }
 
+// Totals returns the raw per-step power series. The slice is the
+// recorder's own backing store — callers must treat it as read-only. It
+// exists for exact-series work: bit-identical determinism checks and
+// the fault-sweep recovery-time scan.
+func (r *Recorder) Totals() []float64 { return r.total }
+
 // Duration returns the recorded span.
 func (r *Recorder) Duration() sim.Time { return sim.Time(len(r.total)) * r.dt }
 

@@ -59,11 +59,12 @@ func (c RegulatorConfig) Validate() error {
 // Regulator is a slew-limited voltage regulator with a command transition
 // delay. It is stepped on the engine clock.
 type Regulator struct {
-	cfg      RegulatorConfig
-	out      float64  // current output voltage
-	target   float64  // target once pending command lands
-	pendingV float64  // commanded voltage in flight
-	pendingT sim.Time // when the in-flight command takes effect (-1: none)
+	cfg       RegulatorConfig
+	out       float64  // current output voltage
+	target    float64  // target once pending command lands
+	pendingV  float64  // commanded voltage in flight
+	pendingT  sim.Time // when the in-flight command takes effect (-1: none)
+	slewScale float64  // degradation factor on SlewRate (1 = nominal)
 }
 
 // NewRegulator returns a regulator at its initial voltage.
@@ -71,7 +72,7 @@ func NewRegulator(cfg RegulatorConfig) (*Regulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Regulator{cfg: cfg, out: cfg.VInit, target: cfg.VInit, pendingT: -1}, nil
+	return &Regulator{cfg: cfg, out: cfg.VInit, target: cfg.VInit, pendingT: -1, slewScale: 1}, nil
 }
 
 // MustRegulator is NewRegulator that panics on invalid configuration.
@@ -109,7 +110,7 @@ func (r *Regulator) Step(now sim.Time, dt sim.Time) float64 {
 		if r.cfg.SlewRate <= 0 {
 			r.out = r.target
 		} else {
-			maxStep := r.cfg.SlewRate * sim.Seconds(dt)
+			maxStep := r.cfg.SlewRate * r.slewScale * sim.Seconds(dt)
 			switch {
 			case r.out < r.target-maxStep:
 				r.out += maxStep
@@ -123,11 +124,43 @@ func (r *Regulator) Step(now sim.Time, dt sim.Time) float64 {
 	return r.out
 }
 
+// SetSlewScale degrades (or restores) the regulator's effective slew
+// rate: the configured SlewRate is multiplied by s on every step — the
+// aging/thermal-derating fault mode a 2.5D integrator must survive.
+// Values are clamped to (0, 1]; 1 restores nominal settling. A
+// regulator with SlewRate 0 (instantaneous) is unaffected.
+func (r *Regulator) SetSlewScale(s float64) {
+	if s <= 0 {
+		s = 0.01
+	}
+	if s > 1 {
+		s = 1
+	}
+	r.slewScale = s
+}
+
+// SlewScale returns the current slew degradation factor.
+func (r *Regulator) SlewScale() float64 { return r.slewScale }
+
 // Output returns the current output voltage without advancing time.
 func (r *Regulator) Output() float64 { return r.out }
 
 // Target returns the voltage the output is settling toward.
 func (r *Regulator) Target() float64 { return r.target }
+
+// Commanded returns the most recently commanded voltage: the in-flight
+// command if one has not yet cleared the transition time, else the
+// landed target. Override logic (the package safety clamp) compares
+// against this rather than Target() — when the transition time exceeds
+// the engine step, re-commanding on every step where the *landed*
+// target still differs would push the pending command out forever and
+// freeze the output.
+func (r *Regulator) Commanded() float64 {
+	if r.pendingT >= 0 {
+		return r.pendingV
+	}
+	return r.target
+}
 
 // Config returns the regulator's configuration.
 func (r *Regulator) Config() RegulatorConfig { return r.cfg }
@@ -149,4 +182,5 @@ func (r *Regulator) Reset() {
 	r.out = r.cfg.VInit
 	r.target = r.cfg.VInit
 	r.pendingT = -1
+	r.slewScale = 1
 }

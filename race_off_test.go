@@ -1,0 +1,5 @@
+//go:build !race
+
+package hcapp_test
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package hcapp_test
+
+// raceEnabled reports that this binary was built with the race
+// detector. Its instrumentation multiplies the cost of the telemetry
+// hot paths far past the 5% production budget the overhead contract
+// measures, so timing guards skip themselves under -race.
+const raceEnabled = true

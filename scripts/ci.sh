@@ -22,4 +22,14 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+# The step-overhead contracts compare inlined hot paths; race
+# instrumentation disables that inlining, so they skip under -race and
+# run here without it.
+echo "== timing guards (no race) =="
+go test -run TestInstrumentedStepOverhead -count=1 .
+go test -run TestFaultInjectionStepOverhead -count=1 ./internal/sched
+
+echo "== fuzz (short) =="
+go test -run NoSuchTest -fuzz FuzzParseText -fuzztime 5s ./internal/telemetry
+
 echo "ci: all green"
