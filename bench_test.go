@@ -122,6 +122,16 @@ func BenchmarkFig5SpeedupFastLimit(b *testing.B) {
 		map[string]string{"HCAPP": "hcapp-speedup"})
 }
 
+// BenchmarkFig5SpeedupParallel is BenchmarkFig5SpeedupFastLimit with
+// the runs sharded over a 4-worker runner; compare the two to measure
+// the scheduler's speedup on a multi-core host (the rendered matrix is
+// byte-identical either way).
+func BenchmarkFig5SpeedupParallel(b *testing.B) {
+	figureBench(b, func(ev *hcapp.Evaluator) (*hcapp.Matrix, error) {
+		return ev.WithRunner(hcapp.NewRunner(4)).Fig5()
+	}, map[string]string{"HCAPP": "hcapp-speedup"})
+}
+
 func BenchmarkFig6PPEFastLimit(b *testing.B) {
 	figureBench(b, func(ev *hcapp.Evaluator) (*hcapp.Matrix, error) { return ev.Fig6() },
 		map[string]string{"HCAPP": "hcapp-ppe", "Fixed Voltage": "fixed-ppe"})

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -25,7 +26,14 @@ func main() {
 	durMS := flag.Float64("dur", 3, "run length per point, milliseconds")
 	msgNS := flag.Int64("msg-ns", 120, "per-message serialization on the collection network, ns")
 	tree := flag.Bool("tree", false, "use an aggregation tree instead of a shared bus")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (output is identical at any width)")
 	flag.Parse()
+
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "hcapp-sweep: -workers must be >= 1, got %d\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	sc := experiment.DefaultScalingConfig()
 	sc.Dur = sim.Time(*durMS * float64(sim.Millisecond))
@@ -49,7 +57,7 @@ func main() {
 		sc.ChipletCounts = append(sc.ChipletCounts, n)
 	}
 
-	res, err := experiment.RunScaling(config.Default(), sc)
+	res, err := experiment.RunScalingWith(experiment.NewRunner(*workers), config.Default(), sc)
 	if err != nil {
 		fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"hcapp/internal/config"
@@ -74,11 +75,21 @@ func parseExperimentIDs(exp string) ([]string, error) {
 	return ids, nil
 }
 
+// validateWorkers rejects non-positive pool sizes before anything runs
+// (a zero-size pool would otherwise deadlock the scheduler).
+func validateWorkers(workers int) error {
+	if workers < 1 {
+		return fmt.Errorf("-workers must be >= 1, got %d", workers)
+	}
+	return nil
+}
+
 func main() {
 	exp := flag.String("experiment", "all", "experiment id(s), comma-separated, or 'all'")
 	dur := flag.Float64("dur", 16, "target duration in milliseconds")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	combo := flag.String("combo", "Burst-Burst", "combo for fig1/fig2 traces")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (output is identical at any width)")
 	flag.Parse()
 
 	ids, err := parseExperimentIDs(*exp)
@@ -86,12 +97,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hcappsim: %v\n", err)
 		os.Exit(2)
 	}
+	if err := validateWorkers(*workers); err != nil {
+		fmt.Fprintf(os.Stderr, "hcappsim: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
-	ev := experiment.NewEvaluator().WithTargetDur(sim.Time(*dur * float64(sim.Millisecond)))
+	runner := experiment.NewRunner(*workers)
+	ev := experiment.NewEvaluator().WithTargetDur(sim.Time(*dur * float64(sim.Millisecond))).WithRunner(runner)
 	ev.Cfg.Seed = *seed
 
 	for _, id := range ids {
-		if err := run(ev, id, *combo); err != nil {
+		if err := run(ev, runner, id, *combo); err != nil {
 			fmt.Fprintf(os.Stderr, "hcappsim: %s: %v\n", id, err)
 			os.Exit(1)
 		}
@@ -99,7 +116,7 @@ func main() {
 	}
 }
 
-func run(ev *experiment.Evaluator, id, comboName string) error {
+func run(ev *experiment.Evaluator, runner *experiment.Runner, id, comboName string) error {
 	switch id {
 	case "table1":
 		fmt.Print(experiment.Table1())
@@ -166,7 +183,7 @@ func run(ev *experiment.Evaluator, id, comboName string) error {
 		return render(ev.Fig10())
 	case "scaling":
 		sc := experiment.DefaultScalingConfig()
-		res, err := experiment.RunScaling(ev.Cfg, sc)
+		res, err := experiment.RunScalingWith(runner, ev.Cfg, sc)
 		if err != nil {
 			return err
 		}
@@ -222,7 +239,7 @@ func run(ev *experiment.Evaluator, id, comboName string) error {
 		}
 		fmt.Print(r.Render())
 	case "seeds":
-		sw, err := experiment.RunSeedSweep([]int64{1, 2, 3, 42, 1234}, config.OffPackageVRLimit(), ev.TargetDur)
+		sw, err := experiment.RunSeedSweepWith(runner, []int64{1, 2, 3, 42, 1234}, config.OffPackageVRLimit(), ev.TargetDur)
 		if err != nil {
 			return err
 		}

@@ -77,3 +77,16 @@ func TestRegistryHasNoDuplicates(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateWorkers(t *testing.T) {
+	for _, n := range []int{1, 4, 64} {
+		if err := validateWorkers(n); err != nil {
+			t.Errorf("validateWorkers(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{0, -1, -8} {
+		if err := validateWorkers(n); err == nil {
+			t.Errorf("validateWorkers(%d) accepted a deadlocking pool size", n)
+		}
+	}
+}

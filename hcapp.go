@@ -169,9 +169,23 @@ func PriorityFor(component string) map[string]float64 {
 	return experiment.PriorityFor(component)
 }
 
+// Runner fans experiment runs over a bounded worker pool. A nil
+// *Runner means sequential execution; results are always assembled in
+// deterministic spec order, so output is byte-identical at any width.
+type Runner = experiment.Runner
+
+// NewRunner builds a parallel run scheduler of the given width
+// (workers < 1 selects runtime.NumCPU()).
+func NewRunner(workers int) *Runner { return experiment.NewRunner(workers) }
+
 // RunScaling executes the chiplet-count scalability sweep.
 func RunScaling(cfg SystemConfig, sc ScalingConfig) (*ScalingResult, error) {
 	return experiment.RunScaling(cfg, sc)
+}
+
+// RunScalingWith executes the scaling sweep over a runner.
+func RunScalingWith(r *Runner, cfg SystemConfig, sc ScalingConfig) (*ScalingResult, error) {
+	return experiment.RunScalingWith(r, cfg, sc)
 }
 
 // DefaultScalingConfig returns the standard scaling sweep.
@@ -243,6 +257,12 @@ type SeedSweep = experiment.SeedSweep
 // headline metrics.
 func RunSeedSweep(seeds []int64, limit PowerLimit, dur Time) (*SeedSweep, error) {
 	return experiment.RunSeedSweep(seeds, limit, dur)
+}
+
+// RunSeedSweepWith runs the seed sweep with the per-seed loop fanned
+// over a runner.
+func RunSeedSweepWith(r *Runner, seeds []int64, limit PowerLimit, dur Time) (*SeedSweep, error) {
+	return experiment.RunSeedSweepWith(r, seeds, limit, dur)
 }
 
 // ComboSpec is the JSON description of a custom benchmark combination.

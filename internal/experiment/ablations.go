@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"hcapp/internal/config"
@@ -39,25 +40,7 @@ func (ev *Evaluator) runVariant(combo Combo, limit config.PowerLimit, mutate fun
 		return RunResult{}, err
 	}
 	res := sys.Engine.Run(sim.Time(float64(ev.TargetDur) * ev.MaxDurFactor))
-	rec := sys.Engine.Recorder()
-	out := RunResult{
-		MaxWindowPower: rec.MaxWindowAvg(limit.Window),
-		AvgPower:       rec.AvgPower(),
-		PPE:            rec.PPE(limit.Watts),
-		Completed:      res.Completed,
-		Duration:       res.Duration,
-		Completion:     make(map[string]sim.Time, len(speedupComponents)),
-	}
-	out.MaxOverLimit = out.MaxWindowPower / limit.Watts
-	out.Violated = out.MaxOverLimit > 1
-	for _, name := range speedupComponents {
-		if t, ok := res.Completion[name]; ok {
-			out.Completion[name] = t
-		} else {
-			out.Completion[name] = res.Duration
-		}
-	}
-	return out, nil
+	return newRunResult(RunSpec{Combo: combo, Scheme: hcapp, Limit: limit}, sys.Engine.Recorder(), res), nil
 }
 
 // AblationLocalControllers compares HCAPP's level-3 designs at the slow
@@ -81,21 +64,56 @@ func (ev *Evaluator) AblationLocalControllers() (*Matrix, error) {
 	}
 	m := NewMatrix("Ablation: level-3 local controller designs (speedup vs fixed, 1 ms limit)", "total speedup", rows, comboNames())
 
-	for _, combo := range Suite() {
-		base, err := ev.Run(RunSpec{Combo: combo, Scheme: ev.FixedScheme(), Limit: limit})
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range variants {
-			r, err := ev.runVariant(combo, limit, v.mutate)
-			if err != nil {
-				return nil, err
-			}
-			_, total := r.SpeedupOver(base)
+	mutations := make([]func(*BuildOptions), len(variants))
+	for i, v := range variants {
+		mutations[i] = v.mutate
+	}
+	results, err := ev.variantBatch(limit, mutations)
+	if err != nil {
+		return nil, err
+	}
+	perCombo := 1 + len(variants)
+	for ci, combo := range Suite() {
+		base := results[ci*perCombo]
+		for vi, v := range variants {
+			_, total := results[ci*perCombo+1+vi].SpeedupOver(base)
 			m.Set(v.name, combo.Name, total)
 		}
 	}
 	return m, nil
+}
+
+// variantBatch runs, for every suite combo, the fixed-voltage baseline
+// plus one HCAPP run per build-option mutation, fanned over the runner
+// and returned in (combo-major, base-first) order.
+func (ev *Evaluator) variantBatch(limit config.PowerLimit, mutations []func(*BuildOptions)) ([]RunResult, error) {
+	suite := Suite()
+	perCombo := 1 + len(mutations)
+	results := make([]RunResult, perCombo*len(suite))
+	err := ev.runner.Tasks(context.Background(), len(results), func(ctx context.Context, i int) error {
+		combo := suite[i/perCombo]
+		var (
+			r    RunResult
+			rerr error
+		)
+		if pi := i % perCombo; pi == 0 {
+			r, rerr = ev.RunContext(ctx, RunSpec{Combo: combo, Scheme: ev.FixedScheme(), Limit: limit})
+		} else {
+			r, rerr = ev.runVariant(combo, limit, mutations[pi-1])
+		}
+		if rerr != nil {
+			return rerr
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // AblationClocking compares the §3.5 timing-safety mechanisms: adaptive
@@ -119,18 +137,20 @@ func (ev *Evaluator) AblationClocking() (*Matrix, error) {
 	}
 	m := NewMatrix("Ablation: adaptive clocking vs voltage guardband (speedup vs fixed, 20 us limit)", "total speedup", rows, comboNames())
 
-	for _, combo := range Suite() {
-		base, err := ev.Run(RunSpec{Combo: combo, Scheme: ev.FixedScheme(), Limit: limit})
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range variants {
-			margin := v.margin
-			r, err := ev.runVariant(combo, limit, func(o *BuildOptions) { o.VoltageMargin = margin })
-			if err != nil {
-				return nil, err
-			}
-			_, total := r.SpeedupOver(base)
+	mutations := make([]func(*BuildOptions), len(variants))
+	for i, v := range variants {
+		margin := v.margin
+		mutations[i] = func(o *BuildOptions) { o.VoltageMargin = margin }
+	}
+	results, err := ev.variantBatch(limit, mutations)
+	if err != nil {
+		return nil, err
+	}
+	perCombo := 1 + len(variants)
+	for ci, combo := range Suite() {
+		base := results[ci*perCombo]
+		for vi, v := range variants {
+			_, total := results[ci*perCombo+1+vi].SpeedupOver(base)
 			m.Set(v.name, combo.Name, total)
 		}
 	}

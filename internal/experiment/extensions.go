@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"hcapp/internal/central"
@@ -100,25 +101,7 @@ func (ev *Evaluator) RunPolicy(combo Combo, limit config.PowerLimit, policy stri
 		return RunResult{}, err
 	}
 	res := sys.Engine.Run(sim.Time(float64(ev.TargetDur) * ev.MaxDurFactor))
-	rec := sys.Engine.Recorder()
-	out := RunResult{
-		MaxWindowPower: rec.MaxWindowAvg(limit.Window),
-		AvgPower:       rec.AvgPower(),
-		PPE:            rec.PPE(limit.Watts),
-		Completed:      res.Completed,
-		Duration:       res.Duration,
-		Completion:     make(map[string]sim.Time, len(speedupComponents)),
-	}
-	out.MaxOverLimit = out.MaxWindowPower / limit.Watts
-	out.Violated = out.MaxOverLimit > 1
-	for _, name := range speedupComponents {
-		if t, ok := res.Completion[name]; ok {
-			out.Completion[name] = t
-		} else {
-			out.Completion[name] = res.Duration
-		}
-	}
-	return out, nil
+	return newRunResult(RunSpec{Combo: combo, Scheme: hcapp, Limit: limit, Policy: policy}, sys.Engine.Recorder(), res), nil
 }
 
 // ExtensionSoftwarePolicies compares software policies layered on HCAPP
@@ -133,16 +116,33 @@ func (ev *Evaluator) ExtensionSoftwarePolicies() (*Matrix, error) {
 	policies := []string{"static-gpu", "progress-balancer", "critical-path"}
 	m := NewMatrix("Extension: software policies on HCAPP, imbalanced pools (makespan vs unsupervised HCAPP)", "makespan speedup", policies, comboNames())
 
-	for _, combo := range Suite() {
-		base, err := ev.RunPolicy(combo, limit, "", DefaultWorkSkew)
-		if err != nil {
-			return nil, err
+	// One flat batch of (1 unsupervised base + the policies) per combo.
+	suite := Suite()
+	perCombo := 1 + len(policies)
+	results := make([]RunResult, perCombo*len(suite))
+	err := ev.runner.Tasks(context.Background(), len(results), func(ctx context.Context, i int) error {
+		combo := suite[i/perCombo]
+		pname := ""
+		if pi := i % perCombo; pi > 0 {
+			pname = policies[pi-1]
 		}
-		for _, pname := range policies {
-			r, err := ev.RunPolicy(combo, limit, pname, DefaultWorkSkew)
-			if err != nil {
-				return nil, err
-			}
+		r, err := ev.RunPolicy(combo, limit, pname, DefaultWorkSkew)
+		if err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, combo := range suite {
+		base := results[ci*perCombo]
+		for pi, pname := range policies {
+			r := results[ci*perCombo+1+pi]
 			m.Set(pname, combo.Name, float64(base.Duration)/float64(r.Duration))
 		}
 	}
@@ -203,25 +203,7 @@ func (ev *Evaluator) RunCentralized(combo Combo, limit config.PowerLimit, opts C
 		return RunResult{}, err
 	}
 	res := sys.Engine.Run(sim.Time(float64(ev.TargetDur) * ev.MaxDurFactor))
-	rec := sys.Engine.Recorder()
-	out := RunResult{
-		MaxWindowPower: rec.MaxWindowAvg(limit.Window),
-		AvgPower:       rec.AvgPower(),
-		PPE:            rec.PPE(limit.Watts),
-		Completed:      res.Completed,
-		Duration:       res.Duration,
-		Completion:     make(map[string]sim.Time, len(speedupComponents)),
-	}
-	out.MaxOverLimit = out.MaxWindowPower / limit.Watts
-	out.Violated = out.MaxOverLimit > 1
-	for _, name := range speedupComponents {
-		if t, ok := res.Completion[name]; ok {
-			out.Completion[name] = t
-		} else {
-			out.Completion[name] = res.Duration
-		}
-	}
-	return out, nil
+	return newRunResult(RunSpec{Combo: combo, Limit: limit}, sys.Engine.Recorder(), res), nil
 }
 
 // ExtensionCentralized compares HCAPP against the structurally
@@ -236,17 +218,34 @@ func (ev *Evaluator) ExtensionCentralized(limit config.PowerLimit) (*Matrix, err
 	m := NewMatrix(
 		fmt.Sprintf("Extension: HCAPP vs centralized allocator, %s limit", limit.Name),
 		"max power / limit", rows, comboNames())
-	for _, combo := range Suite() {
-		h, err := ev.Run(RunSpec{Combo: combo, Scheme: hcapp, Limit: limit})
-		if err != nil {
-			return nil, err
+	suite := Suite()
+	results := make([]RunResult, 2*len(suite))
+	err = ev.runner.Tasks(context.Background(), len(results), func(ctx context.Context, i int) error {
+		combo := suite[i/2]
+		var (
+			r    RunResult
+			rerr error
+		)
+		if i%2 == 0 {
+			r, rerr = ev.RunContext(ctx, RunSpec{Combo: combo, Scheme: hcapp, Limit: limit})
+		} else {
+			r, rerr = ev.RunCentralized(combo, limit, CentralizedOptions{})
 		}
-		c, err := ev.RunCentralized(combo, limit, CentralizedOptions{})
-		if err != nil {
-			return nil, err
+		if rerr != nil {
+			return rerr
 		}
-		m.Set("HCAPP", combo.Name, h.MaxOverLimit)
-		m.Set("Centralized", combo.Name, c.MaxOverLimit)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, combo := range suite {
+		m.Set("HCAPP", combo.Name, results[2*ci].MaxOverLimit)
+		m.Set("Centralized", combo.Name, results[2*ci+1].MaxOverLimit)
 	}
 	return m, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -214,28 +215,52 @@ func (ev *Evaluator) RunFaultSweep(combo Combo, limit config.PowerLimit, dur sim
 	}
 	scenarios := DefaultFaultPlans(dur, seed)
 
-	// One healthy reference per control topology, shared across rows.
-	healthy := map[bool]*sweepRun{}
-	for _, centralized := range []bool{false, true} {
-		run, err := ev.buildSweepSystem(combo, limit, nil, centralized)
-		if err != nil {
-			return nil, err
-		}
-		run.finish(dur)
-		healthy[centralized] = run
-	}
-
-	sweep := &FaultSweep{Combo: combo, Limit: limit, Dur: dur, Seed: seed}
-	for _, sc := range scenarios {
+	// Injectors are built up front (fault.New can reject a plan) so the
+	// parallel batch below only runs simulations.
+	injs := make([]*fault.Injector, len(scenarios))
+	for i, sc := range scenarios {
 		inj, err := fault.New(sc.Plan)
 		if err != nil {
 			return nil, err
 		}
-		run, err := ev.buildSweepSystem(combo, limit, inj, sc.Centralized)
+		injs[i] = inj
+	}
+
+	// One batch: the two healthy references (per control topology) plus
+	// every scenario, fanned over the runner and harvested by index so the
+	// table is identical at any worker count.
+	runs := make([]*sweepRun, 2+len(scenarios))
+	err := ev.runner.Tasks(context.Background(), len(runs), func(ctx context.Context, i int) error {
+		var (
+			inj         *fault.Injector
+			centralized bool
+		)
+		if i < 2 {
+			centralized = i == 1
+		} else {
+			inj = injs[i-2]
+			centralized = scenarios[i-2].Centralized
+		}
+		run, err := ev.buildSweepSystem(combo, limit, inj, centralized)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		run.finish(dur)
+		runs[i] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	healthy := map[bool]*sweepRun{false: runs[0], true: runs[1]}
+
+	sweep := &FaultSweep{Combo: combo, Limit: limit, Dur: dur, Seed: seed}
+	for si, sc := range scenarios {
+		inj := injs[si]
+		run := runs[2+si]
 		ref := healthy[sc.Centralized]
 
 		row := FaultSweepRow{

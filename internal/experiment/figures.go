@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"hcapp/internal/config"
@@ -80,47 +81,59 @@ func (ev *Evaluator) Fig2(combo Combo, windows []sim.Time, sampleEvery sim.Time)
 	return out, avg, nil
 }
 
+// schemeSuiteSpecs builds the scheme-major spec batch behind the figure
+// matrices: every scheme × every suite combo, in deterministic order.
+func schemeSuiteSpecs(schemes []config.Scheme, suite []Combo, limit config.PowerLimit) []RunSpec {
+	specs := make([]RunSpec, 0, len(schemes)*len(suite))
+	for _, s := range schemes {
+		for _, c := range suite {
+			specs = append(specs, RunSpec{Combo: c, Scheme: s, Limit: limit})
+		}
+	}
+	return specs
+}
+
 // maxPowerFigure builds a Fig. 4 / Fig. 7 style matrix: maximum
 // window-averaged power relative to the limit, per scheme per combo.
+// The whole scheme × combo batch is submitted to the runner at once and
+// assembled in spec order.
 func (ev *Evaluator) maxPowerFigure(title string, schemes []config.Scheme, limit config.PowerLimit) (*Matrix, error) {
 	rows := make([]string, len(schemes))
 	for i, s := range schemes {
 		rows[i] = s.String()
 	}
+	suite := Suite()
 	m := NewMatrix(title, "max power / limit", rows, comboNames())
-	for _, s := range schemes {
-		results, err := ev.RunSuite(s, limit)
-		if err != nil {
-			return nil, err
-		}
-		for name, r := range results {
-			m.Set(s.String(), name, r.MaxOverLimit)
-		}
+	results, err := ev.RunSpecs(context.Background(), schemeSuiteSpecs(schemes, suite, limit))
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		m.Set(schemes[i/len(suite)].String(), suite[i%len(suite)].Name, r.MaxOverLimit)
 	}
 	return m, nil
 }
 
 // speedupFigure builds a Fig. 5 / Fig. 8 style matrix: per-combo Eq. 3
 // total speedup of each scheme relative to the fixed-voltage baseline.
+// Baseline and scheme runs go out as one batch; a scheme that also
+// appears as the baseline dedupes through the single-flight cache.
 func (ev *Evaluator) speedupFigure(title string, schemes []config.Scheme, limit config.PowerLimit) (*Matrix, error) {
-	base, err := ev.RunSuite(ev.FixedScheme(), limit)
-	if err != nil {
-		return nil, err
-	}
 	rows := make([]string, len(schemes))
 	for i, s := range schemes {
 		rows[i] = s.String()
 	}
+	suite := Suite()
+	specs := schemeSuiteSpecs(append([]config.Scheme{ev.FixedScheme()}, schemes...), suite, limit)
 	m := NewMatrix(title, "speedup vs fixed 0.95 V", rows, comboNames())
-	for _, s := range schemes {
-		results, err := ev.RunSuite(s, limit)
-		if err != nil {
-			return nil, err
-		}
-		for name, r := range results {
-			_, total := r.SpeedupOver(base[name])
-			m.Set(s.String(), name, total)
-		}
+	results, err := ev.RunSpecs(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	base := results[:len(suite)]
+	for i, r := range results[len(suite):] {
+		_, total := r.SpeedupOver(base[i%len(suite)])
+		m.Set(schemes[i/len(suite)].String(), suite[i%len(suite)].Name, total)
 	}
 	return m, nil
 }
@@ -132,15 +145,14 @@ func (ev *Evaluator) ppeFigure(title string, schemes []config.Scheme, limit conf
 	for i, s := range schemes {
 		rows[i] = s.String()
 	}
+	suite := Suite()
 	m := NewMatrix(title, "PPE", rows, comboNames())
-	for _, s := range schemes {
-		results, err := ev.RunSuite(s, limit)
-		if err != nil {
-			return nil, err
-		}
-		for name, r := range results {
-			m.Set(s.String(), name, r.PPE)
-		}
+	results, err := ev.RunSpecs(context.Background(), schemeSuiteSpecs(schemes, suite, limit))
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		m.Set(schemes[i/len(suite)].String(), suite[i%len(suite)].Name, r.PPE)
 	}
 	return m, nil
 }
@@ -224,18 +236,25 @@ func (ev *Evaluator) Fig10() (*Matrix, error) {
 	rowName := map[string]string{"cpu": "CPU", "gpu": "GPU", "sha": "SHA"}
 	m := NewMatrix("Fig 10: Speedup of prioritized component vs unprioritized HCAPP", "speedup", []string{"CPU", "GPU", "SHA"}, comboNames())
 
-	for _, combo := range Suite() {
-		base, err := ev.Run(RunSpec{Combo: combo, Scheme: hcapp, Limit: limit})
-		if err != nil {
-			return nil, err
-		}
+	// One batch of (1 base + 3 prioritized) runs per combo, assembled in
+	// spec order.
+	suite := Suite()
+	perCombo := 1 + len(comps)
+	specs := make([]RunSpec, 0, perCombo*len(suite))
+	for _, combo := range suite {
+		specs = append(specs, RunSpec{Combo: combo, Scheme: hcapp, Limit: limit})
 		for _, comp := range comps {
-			prio := PriorityFor(comp)
-			r, err := ev.Run(RunSpec{Combo: combo, Scheme: hcapp, Limit: limit, Priorities: prio})
-			if err != nil {
-				return nil, err
-			}
-			per, _ := r.SpeedupOver(base)
+			specs = append(specs, RunSpec{Combo: combo, Scheme: hcapp, Limit: limit, Priorities: PriorityFor(comp)})
+		}
+	}
+	results, err := ev.RunSpecs(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	for ci, combo := range suite {
+		base := results[ci*perCombo]
+		for pi, comp := range comps {
+			per, _ := results[ci*perCombo+1+pi].SpeedupOver(base)
 			m.Set(rowName[comp], combo.Name, per[comp])
 		}
 	}

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -92,14 +93,24 @@ func (m *Matrix) Render() string {
 		fmt.Fprintf(&sb, "%-*s", rowW+2, r)
 		for _, c := range m.Cols {
 			if v, ok := m.values[r][c]; ok {
-				fmt.Fprintf(&sb, "%*.3f", colW, v)
+				fmt.Fprintf(&sb, "%*s", colW, formatCell(v))
 			} else {
 				fmt.Fprintf(&sb, "%*s", colW, "-")
 			}
 		}
-		fmt.Fprintf(&sb, "%*.3f\n", colW, m.RowAvg(r))
+		fmt.Fprintf(&sb, "%*s\n", colW, formatCell(m.RowAvg(r)))
 	}
 	return sb.String()
+}
+
+// formatCell renders one matrix value; NaN — a run where a scheme failed
+// to complete every component (Eq. 3's poison-loudly contract) — prints
+// as "fail" instead of masquerading as a number.
+func formatCell(v float64) string {
+	if math.IsNaN(v) {
+		return "fail"
+	}
+	return fmt.Sprintf("%.3f", v)
 }
 
 // SortedRows returns row names sorted alphabetically (for deterministic

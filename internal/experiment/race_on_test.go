@@ -1,0 +1,9 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports that this binary was built with the race
+// detector. Its instrumentation distorts wall-clock comparisons, so
+// timing-sensitive tests (the parallel-speedup contract) skip
+// themselves under -race; the correctness tests still run.
+const raceEnabled = true

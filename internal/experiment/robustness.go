@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -54,8 +55,10 @@ func (ev *Evaluator) RunFaultInjection(combo Combo) ([]FaultResult, error) {
 	}
 	target := TargetPowerFor(limit)
 
-	var out []FaultResult
-	for _, sc := range DefaultFaultScenarios() {
+	scenarios := DefaultFaultScenarios()
+	out := make([]FaultResult, len(scenarios))
+	err = ev.runner.Tasks(context.Background(), len(scenarios), func(ctx context.Context, i int) error {
+		sc := scenarios[i]
 		fault := sc.Fault
 		if fault.StuckEnabled && fault.StuckAt == 0 {
 			// "Stuck at target": the worst plausible silent failure —
@@ -70,18 +73,25 @@ func (ev *Evaluator) RunFaultInjection(combo Combo) ([]FaultResult, error) {
 			AccelWorkGB: sizing.AccelGB,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sys.Engine.Sensor().InjectFault(fault)
-		sys.Engine.Run(sim.Time(float64(ev.TargetDur) * ev.MaxDurFactor))
+		sys.Engine.RunWithCancel(sim.Time(float64(ev.TargetDur)*ev.MaxDurFactor), func() bool { return ctx.Err() != nil })
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		rec := sys.Engine.Recorder()
 		maxOver := rec.MaxWindowAvg(limit.Window) / limit.Watts
-		out = append(out, FaultResult{
+		out[i] = FaultResult{
 			Scenario:     sc,
 			MaxOverLimit: maxOver,
 			Violated:     maxOver > 1,
 			PPE:          rec.PPE(limit.Watts),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -123,28 +133,40 @@ func (ev *Evaluator) AblationVREfficiency() (*Matrix, error) {
 	}
 	m := NewMatrix("Ablation: global VR conversion efficiency (max power / limit, 20 us limit)", "max/limit", rows, comboNames())
 
-	for _, combo := range Suite() {
+	// Flat (combo, efficiency) cell batch over the runner; cells land by
+	// index and the matrix is filled sequentially afterwards.
+	suite := Suite()
+	cells := make([]float64, len(suite)*len(effs))
+	err = ev.runner.Tasks(context.Background(), len(cells), func(ctx context.Context, i int) error {
+		combo, e := suite[i/len(effs)], effs[i%len(effs)]
 		sizing, err := ev.sizingFor(combo)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, e := range effs {
-			cfg := ev.Cfg
-			cfg.GlobalVR.Efficiency = e.eff
-			sys, err := Build(cfg, combo, BuildOptions{
-				Scheme:      hcapp,
-				TargetPower: TargetPowerFor(limit),
-				CPUWork:     sizing.CPUWork,
-				GPUWork:     sizing.GPUWork,
-				AccelWorkGB: sizing.AccelGB,
-			})
-			if err != nil {
-				return nil, err
-			}
-			sys.Engine.Run(sim.Time(float64(ev.TargetDur) * ev.MaxDurFactor))
-			rec := sys.Engine.Recorder()
-			m.Set(e.name, combo.Name, rec.MaxWindowAvg(limit.Window)/limit.Watts)
+		cfg := ev.Cfg
+		cfg.GlobalVR.Efficiency = e.eff
+		sys, err := Build(cfg, combo, BuildOptions{
+			Scheme:      hcapp,
+			TargetPower: TargetPowerFor(limit),
+			CPUWork:     sizing.CPUWork,
+			GPUWork:     sizing.GPUWork,
+			AccelWorkGB: sizing.AccelGB,
+		})
+		if err != nil {
+			return err
 		}
+		sys.Engine.RunWithCancel(sim.Time(float64(ev.TargetDur)*ev.MaxDurFactor), func() bool { return ctx.Err() != nil })
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cells[i] = sys.Engine.Recorder().MaxWindowAvg(limit.Window) / limit.Watts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range cells {
+		m.Set(effs[i%len(effs)].name, suite[i/len(effs)].Name, v)
 	}
 	return m, nil
 }

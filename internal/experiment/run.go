@@ -2,13 +2,17 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 
 	"hcapp/internal/config"
 	"hcapp/internal/sched"
 	"hcapp/internal/sim"
 	"hcapp/internal/stats"
+	"hcapp/internal/trace"
 )
 
 // Components whose completion time defines per-component speedup (Eq. 3).
@@ -28,7 +32,10 @@ type RunSpec struct {
 	Policy string
 }
 
-// key builds a cache key for the spec.
+// key identifies the spec itself. It deliberately excludes evaluator
+// state (seed, horizon, fixed voltage) — the evaluator folds those in
+// via runKey, so reconfiguring an evaluator mid-sequence can never serve
+// a result computed under the old parameters.
 func (s RunSpec) key() string {
 	k := fmt.Sprintf("%s|%s|%s", s.Combo.Name, s.Scheme.Kind, s.Limit.Name)
 	if s.Scheme.Kind == config.FixedVoltage {
@@ -71,6 +78,11 @@ type RunResult struct {
 	// Completion maps component name → completion time. Components that
 	// did not finish within the deadline are recorded at the deadline.
 	Completion map[string]sim.Time
+	// Finished maps component name → whether it genuinely completed its
+	// work (false means its Completion entry is the deadline clip, not a
+	// finish time). A nil map — hand-built results — means every recorded
+	// completion is genuine.
+	Finished map[string]bool
 	// Completed reports whether every component finished.
 	Completed bool
 	// Duration is the simulated run length.
@@ -79,17 +91,59 @@ type RunResult struct {
 	ControlCycles int64
 }
 
+// finished reports whether the named component genuinely completed.
+func (r RunResult) finished(name string) bool {
+	if r.Finished == nil {
+		return true
+	}
+	return r.Finished[name]
+}
+
+// newRunResult assembles the run metrics every driver shares: window and
+// average power against the limit, PPE, and per-component completion
+// with deadline-clip tracking.
+func newRunResult(spec RunSpec, rec *trace.Recorder, res sched.Result) RunResult {
+	out := RunResult{
+		Spec:           spec,
+		MaxWindowPower: rec.MaxWindowAvg(spec.Limit.Window),
+		AvgPower:       rec.AvgPower(),
+		Completed:      res.Completed,
+		Duration:       res.Duration,
+		ControlCycles:  res.ControlCycles,
+		Completion:     make(map[string]sim.Time, len(speedupComponents)),
+		Finished:       make(map[string]bool, len(speedupComponents)),
+	}
+	out.MaxOverLimit = out.MaxWindowPower / spec.Limit.Watts
+	out.Violated = out.MaxOverLimit > 1
+	out.PPE = rec.PPE(spec.Limit.Watts)
+	for _, name := range speedupComponents {
+		if t, ok := res.Completion[name]; ok {
+			out.Completion[name] = t
+			out.Finished[name] = true
+		} else {
+			out.Completion[name] = res.Duration
+			out.Finished[name] = false
+		}
+	}
+	return out
+}
+
 // SpeedupOver returns per-component speedups of this run relative to a
 // baseline run of the same combo, plus the Eq. 3 geometric-mean total:
-// STotal = (S_CPU · S_GPU · S_Accel)^(1/3).
+// STotal = (S_CPU · S_GPU · S_Accel)^(1/3). A component that is missing
+// or was clipped at the deadline in either run has no defined speedup:
+// its entry and the total are NaN, matching stats.Geomean's
+// poison-loudly contract — averaging only the survivors would inflate
+// the total exactly when a scheme fails to complete.
 func (r RunResult) SpeedupOver(base RunResult) (perComp map[string]float64, total float64) {
 	perComp = make(map[string]float64, len(speedupComponents))
 	vals := make([]float64, 0, len(speedupComponents))
 	for _, name := range speedupComponents {
 		b, okB := base.Completion[name]
 		s, okS := r.Completion[name]
-		if !okB || !okS || s <= 0 {
-			perComp[name] = 0
+		if !okB || !okS || s <= 0 || !base.finished(name) || !r.finished(name) {
+			perComp[name] = math.NaN()
+			vals = append(vals, math.NaN())
 			continue
 		}
 		sp := float64(b) / float64(s)
@@ -100,6 +154,9 @@ func (r RunResult) SpeedupOver(base RunResult) (perComp map[string]float64, tota
 }
 
 // Evaluator runs and caches simulations for one system configuration.
+// It is safe for concurrent use: the result and sizing caches are
+// single-flight, so overlapping requests for the same key simulate once
+// and share the result.
 type Evaluator struct {
 	Cfg config.SystemConfig
 	// TargetDur sizes the work pools (fixed-voltage run length).
@@ -115,8 +172,33 @@ type Evaluator struct {
 	// does.
 	Observer sched.StepObserver
 
-	cache  map[string]RunResult
-	sizing map[string]Sizing
+	// runner, when non-nil, fans RunSpecs batches across a worker pool.
+	runner *Runner
+
+	mu           sync.Mutex
+	cache        map[string]RunResult
+	sizing       map[string]Sizing
+	runInflight  map[string]*runFlight
+	sizeInflight map[string]*sizingFlight
+
+	// runProbe, when non-nil, is called with the cache key once per
+	// actual (uncached, non-deduplicated) simulation — the test hook the
+	// single-flight contract is asserted through.
+	runProbe func(key string)
+}
+
+// runFlight is one in-progress uncached run; waiters block on done.
+type runFlight struct {
+	done chan struct{}
+	res  RunResult
+	err  error
+}
+
+// sizingFlight is one in-progress work-pool sizing.
+type sizingFlight struct {
+	done chan struct{}
+	s    Sizing
+	err  error
 }
 
 // NewEvaluator returns an evaluator over the default target system.
@@ -128,26 +210,89 @@ func NewEvaluator() *Evaluator {
 		FixedV:       0.95,
 		cache:        make(map[string]RunResult),
 		sizing:       make(map[string]Sizing),
+		runInflight:  make(map[string]*runFlight),
+		sizeInflight: make(map[string]*sizingFlight),
 	}
 }
 
-// WithTargetDur shrinks or grows all runs (tests use short runs).
+// WithTargetDur shrinks or grows all runs (tests use short runs). The
+// horizon is part of every cache key, so reconfiguring mid-sequence
+// never serves results sized for the old horizon.
 func (ev *Evaluator) WithTargetDur(d sim.Time) *Evaluator {
 	ev.TargetDur = d
 	return ev
 }
 
-// sizingFor computes (and caches) the work pools for a combo.
+// WithRunner attaches a worker pool that RunSpecs (and the suite
+// drivers built on it) fan batches across. A nil runner means
+// sequential execution.
+func (ev *Evaluator) WithRunner(r *Runner) *Evaluator {
+	ev.runner = r
+	return ev
+}
+
+// ensureMapsLocked lazily initializes the cache maps for evaluators
+// built as zero values. Callers hold ev.mu.
+func (ev *Evaluator) ensureMapsLocked() {
+	if ev.cache == nil {
+		ev.cache = make(map[string]RunResult)
+	}
+	if ev.sizing == nil {
+		ev.sizing = make(map[string]Sizing)
+	}
+	if ev.runInflight == nil {
+		ev.runInflight = make(map[string]*runFlight)
+	}
+	if ev.sizeInflight == nil {
+		ev.sizeInflight = make(map[string]*sizingFlight)
+	}
+}
+
+// runKey is the full result-cache key: the spec plus every evaluator
+// parameter that changes what a run computes. Folding seed, horizon and
+// the baseline voltage in (rather than invalidating on mutation) makes
+// With*-style reconfiguration and concurrent sharing safe by
+// construction.
+func (ev *Evaluator) runKey(spec RunSpec) string {
+	return fmt.Sprintf("seed=%d|dur=%d|maxf=%g|fv=%g|%s",
+		ev.Cfg.Seed, ev.TargetDur, ev.MaxDurFactor, ev.FixedV, spec.key())
+}
+
+// sizingKey keys the work-pool cache by combo plus the parameters
+// SizeWork reads.
+func (ev *Evaluator) sizingKey(combo Combo) string {
+	return fmt.Sprintf("seed=%d|dur=%d|fv=%g|%s", ev.Cfg.Seed, ev.TargetDur, ev.FixedV, combo.Name)
+}
+
+// sizingFor computes (and caches, single-flight) the work pools for a
+// combo.
 func (ev *Evaluator) sizingFor(combo Combo) (Sizing, error) {
-	if s, ok := ev.sizing[combo.Name]; ok {
+	key := ev.sizingKey(combo)
+	ev.mu.Lock()
+	ev.ensureMapsLocked()
+	if s, ok := ev.sizing[key]; ok {
+		ev.mu.Unlock()
 		return s, nil
 	}
-	s, err := SizeWork(ev.Cfg, combo, ev.FixedV, ev.TargetDur)
-	if err != nil {
-		return Sizing{}, err
+	if f, ok := ev.sizeInflight[key]; ok {
+		ev.mu.Unlock()
+		<-f.done
+		return f.s, f.err
 	}
-	ev.sizing[combo.Name] = s
-	return s, nil
+	f := &sizingFlight{done: make(chan struct{})}
+	ev.sizeInflight[key] = f
+	ev.mu.Unlock()
+
+	s, err := SizeWork(ev.Cfg, combo, ev.FixedV, ev.TargetDur)
+	f.s, f.err = s, err
+	ev.mu.Lock()
+	if err == nil {
+		ev.sizing[key] = s
+	}
+	delete(ev.sizeInflight, key)
+	ev.mu.Unlock()
+	close(f.done)
+	return s, err
 }
 
 // Run executes (or returns the cached result of) one spec.
@@ -158,20 +303,64 @@ func (ev *Evaluator) Run(spec RunSpec) (RunResult, error) {
 // RunContext is Run under a context: a cancelled or expired context
 // stops the simulation cooperatively (within a few thousand engine
 // steps) and returns ctx.Err(). Cancelled runs are never cached.
+//
+// Concurrent callers requesting the same key are single-flighted: one
+// leader simulates, the rest wait and share the result. A waiter whose
+// leader was cancelled retries (its own context may still be live);
+// deterministic errors — a bad spec or config — are shared.
 func (ev *Evaluator) RunContext(ctx context.Context, spec RunSpec) (RunResult, error) {
-	if ev.cache == nil {
-		ev.cache = make(map[string]RunResult)
-	}
-	if ev.sizing == nil {
-		ev.sizing = make(map[string]Sizing)
-	}
-	if r, ok := ev.cache[spec.key()]; ok {
-		return r, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return RunResult{}, err
-	}
+	key := ev.runKey(spec)
+	for {
+		ev.mu.Lock()
+		ev.ensureMapsLocked()
+		if r, ok := ev.cache[key]; ok {
+			ev.mu.Unlock()
+			return r, nil
+		}
+		if f, ok := ev.runInflight[key]; ok {
+			ev.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return RunResult{}, ctx.Err()
+			}
+			if f.err == nil {
+				return f.res, nil
+			}
+			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+				// The leader's batch was cancelled, not ours: retry
+				// (and become the leader) unless our context is also
+				// dead.
+				if err := ctx.Err(); err != nil {
+					return RunResult{}, err
+				}
+				continue
+			}
+			return RunResult{}, f.err
+		}
+		if err := ctx.Err(); err != nil {
+			ev.mu.Unlock()
+			return RunResult{}, err
+		}
+		f := &runFlight{done: make(chan struct{})}
+		ev.runInflight[key] = f
+		ev.mu.Unlock()
 
+		res, err := ev.runUncached(ctx, spec, key)
+		f.res, f.err = res, err
+		ev.mu.Lock()
+		if err == nil {
+			ev.cache[key] = res
+		}
+		delete(ev.runInflight, key)
+		ev.mu.Unlock()
+		close(f.done)
+		return res, err
+	}
+}
+
+// runUncached builds and simulates one spec with no cache involvement.
+func (ev *Evaluator) runUncached(ctx context.Context, spec RunSpec, key string) (RunResult, error) {
 	sizing, err := ev.sizingFor(spec.Combo)
 	if err != nil {
 		return RunResult{}, err
@@ -203,44 +392,37 @@ func (ev *Evaluator) RunContext(ctx context.Context, spec RunSpec) (RunResult, e
 	if ctx.Done() != nil {
 		cancelled = func() bool { return ctx.Err() != nil }
 	}
+	if ev.runProbe != nil {
+		ev.runProbe(key)
+	}
 	res := sys.Engine.RunWithCancel(maxDur, cancelled)
 	if err := ctx.Err(); err != nil {
 		return RunResult{}, err
 	}
-	rec := sys.Engine.Recorder()
+	return newRunResult(spec, sys.Engine.Recorder(), res), nil
+}
 
-	out := RunResult{
-		Spec:           spec,
-		MaxWindowPower: rec.MaxWindowAvg(spec.Limit.Window),
-		AvgPower:       rec.AvgPower(),
-		Completed:      res.Completed,
-		Duration:       res.Duration,
-		ControlCycles:  res.ControlCycles,
-		Completion:     make(map[string]sim.Time, len(speedupComponents)),
-	}
-	out.MaxOverLimit = out.MaxWindowPower / spec.Limit.Watts
-	out.Violated = out.MaxOverLimit > 1
-	out.PPE = rec.PPE(spec.Limit.Watts)
-	for _, name := range speedupComponents {
-		if t, ok := res.Completion[name]; ok {
-			out.Completion[name] = t
-		} else {
-			out.Completion[name] = res.Duration
-		}
-	}
-	ev.cache[spec.key()] = out
-	return out, nil
+// RunSpecs executes a batch of specs — across the evaluator's runner
+// when one is attached, sequentially otherwise — and returns results in
+// spec order. One failing run cancels the rest of the batch.
+func (ev *Evaluator) RunSpecs(ctx context.Context, specs []RunSpec) ([]RunResult, error) {
+	return ev.runner.RunSpecs(ctx, ev, specs)
 }
 
 // RunSuite runs every Table 3 combo under one scheme and limit.
 func (ev *Evaluator) RunSuite(scheme config.Scheme, limit config.PowerLimit) (map[string]RunResult, error) {
-	out := make(map[string]RunResult, len(Suite()))
-	for _, combo := range Suite() {
-		r, err := ev.Run(RunSpec{Combo: combo, Scheme: scheme, Limit: limit})
-		if err != nil {
-			return nil, err
-		}
-		out[combo.Name] = r
+	suite := Suite()
+	specs := make([]RunSpec, len(suite))
+	for i, combo := range suite {
+		specs[i] = RunSpec{Combo: combo, Scheme: scheme, Limit: limit}
+	}
+	results, err := ev.RunSpecs(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]RunResult, len(suite))
+	for i, combo := range suite {
+		out[combo.Name] = results[i]
 	}
 	return out, nil
 }

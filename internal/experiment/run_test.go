@@ -164,6 +164,10 @@ func TestSpeedupOver(t *testing.T) {
 	}
 }
 
+// TestSpeedupOverMissingComponent is the Eq. 3 regression test: a
+// missing completion for any of cpu/gpu/sha must poison the total to
+// NaN, not silently shrink the geomean to the surviving components
+// (which inflates a failing scheme's speedup).
 func TestSpeedupOverMissingComponent(t *testing.T) {
 	base := RunResult{Completion: map[string]sim.Time{"cpu": 2000}}
 	r := RunResult{Completion: map[string]sim.Time{"cpu": 1000}}
@@ -171,11 +175,48 @@ func TestSpeedupOverMissingComponent(t *testing.T) {
 	if per["cpu"] != 2 {
 		t.Fatalf("cpu speedup %g", per["cpu"])
 	}
-	if per["gpu"] != 0 || per["sha"] != 0 {
-		t.Fatal("missing components should report 0")
+	if !math.IsNaN(per["gpu"]) || !math.IsNaN(per["sha"]) {
+		t.Fatalf("missing components must poison to NaN, got gpu=%g sha=%g", per["gpu"], per["sha"])
 	}
-	if math.Abs(total-2) > 1e-12 {
-		t.Fatalf("total over present components = %g", total)
+	if !math.IsNaN(total) {
+		t.Fatalf("Eq. 3 total over a partial run must be NaN, got %g", total)
+	}
+}
+
+// TestSpeedupOverClippedComponent covers the 2-of-3-finished case: every
+// component has a completion time, but one was clipped at the run
+// deadline rather than genuinely finishing. The clipped component — and
+// therefore the Eq. 3 total — must be NaN.
+func TestSpeedupOverClippedComponent(t *testing.T) {
+	allDone := map[string]bool{"cpu": true, "gpu": true, "sha": true}
+	base := RunResult{
+		Completion: map[string]sim.Time{"cpu": 2000, "gpu": 1000, "sha": 4000},
+		Finished:   allDone,
+	}
+	r := RunResult{
+		// gpu "completed" at the 8000-tick deadline without finishing.
+		Completion: map[string]sim.Time{"cpu": 1000, "gpu": 8000, "sha": 2000},
+		Finished:   map[string]bool{"cpu": true, "gpu": false, "sha": true},
+	}
+	per, total := r.SpeedupOver(base)
+	if per["cpu"] != 2 || per["sha"] != 2 {
+		t.Fatalf("finished components wrong: %v", per)
+	}
+	if !math.IsNaN(per["gpu"]) {
+		t.Fatalf("deadline-clipped component must be NaN, got %g", per["gpu"])
+	}
+	if !math.IsNaN(total) {
+		t.Fatalf("Eq. 3 total with a clipped component must be NaN, got %g", total)
+	}
+	// A clipped *baseline* poisons too: speedup against a baseline that
+	// never finished is meaningless.
+	clippedBase := RunResult{
+		Completion: base.Completion,
+		Finished:   map[string]bool{"cpu": false, "gpu": true, "sha": true},
+	}
+	full := RunResult{Completion: map[string]sim.Time{"cpu": 1000, "gpu": 500, "sha": 2000}, Finished: allDone}
+	if _, total := full.SpeedupOver(clippedBase); !math.IsNaN(total) {
+		t.Fatalf("clipped baseline must poison the total, got %g", total)
 	}
 }
 

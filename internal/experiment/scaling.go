@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -91,10 +92,17 @@ type ScalingResult struct {
 	Points []ScalingPoint
 }
 
-// RunScaling executes the chiplet-count sweep.
+// RunScaling executes the chiplet-count sweep sequentially.
 func RunScaling(cfg config.SystemConfig, sc ScalingConfig) (*ScalingResult, error) {
-	res := &ScalingResult{Cfg: sc}
-	for _, n := range sc.ChipletCounts {
+	return RunScalingWith(nil, cfg, sc)
+}
+
+// RunScalingWith executes the sweep with the (count, scheme-variant)
+// cells fanned over the runner (nil runs sequentially). Periods and
+// counts are validated up front so the parallel batch only simulates.
+func RunScalingWith(r *Runner, cfg config.SystemConfig, sc ScalingConfig) (*ScalingResult, error) {
+	res := &ScalingResult{Cfg: sc, Points: make([]ScalingPoint, len(sc.ChipletCounts))}
+	for i, n := range sc.ChipletCounts {
 		if n <= 0 {
 			return nil, fmt.Errorf("experiment: non-positive chiplet count %d", n)
 		}
@@ -105,30 +113,39 @@ func RunScaling(cfg config.SystemConfig, sc ScalingConfig) (*ScalingResult, erro
 		if err != nil {
 			return nil, err
 		}
-		pt := ScalingPoint{
+		res.Points[i] = ScalingPoint{
 			Triples:       n,
 			Nodes:         nodes,
 			HCAPPPeriod:   1 * sim.Microsecond,
 			CentralPeriod: centralPeriod,
 		}
-		limit := sc.LimitPerTriple * float64(n)
+	}
 
-		for _, variant := range []struct {
-			period sim.Time
-			max    *float64
-			ppe    *float64
-		}{
-			{pt.HCAPPPeriod, &pt.HCAPPMax, &pt.HCAPPPPE},
-			{pt.CentralPeriod, &pt.CentralMax, &pt.CentralPPE},
-		} {
-			rec, err := runScaled(cfg, sc, n, variant.period, limit)
-			if err != nil {
-				return nil, err
-			}
-			*variant.max = rec.MaxWindowAvg(sc.Window) / limit
-			*variant.ppe = rec.PPE(limit)
+	err := r.Tasks(context.Background(), 2*len(sc.ChipletCounts), func(ctx context.Context, i int) error {
+		pt := &res.Points[i/2]
+		period := pt.HCAPPPeriod
+		if i%2 == 1 {
+			period = pt.CentralPeriod
 		}
-		res.Points = append(res.Points, pt)
+		limit := sc.LimitPerTriple * float64(pt.Triples)
+		rec, err := runScaled(cfg, sc, pt.Triples, period, limit)
+		if err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if i%2 == 0 {
+			pt.HCAPPMax = rec.MaxWindowAvg(sc.Window) / limit
+			pt.HCAPPPPE = rec.PPE(limit)
+		} else {
+			pt.CentralMax = rec.MaxWindowAvg(sc.Window) / limit
+			pt.CentralPPE = rec.PPE(limit)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,42 +25,66 @@ type SeedSweep struct {
 	Violations int
 }
 
-// RunSeedSweep executes the sweep at the given horizon.
+// RunSeedSweep executes the sweep sequentially at the given horizon.
 func RunSeedSweep(seeds []int64, limit config.PowerLimit, dur sim.Time) (*SeedSweep, error) {
+	return RunSeedSweepWith(nil, seeds, limit, dur)
+}
+
+// RunSeedSweepWith executes the sweep with the per-seed loop —
+// embarrassingly parallel, one fresh evaluator per seed — fanned over
+// the runner (nil runs sequentially). Per-seed summaries land in
+// seed-index slots, so the rendered sweep is identical at any worker
+// count.
+func RunSeedSweepWith(r *Runner, seeds []int64, limit config.PowerLimit, dur sim.Time) (*SeedSweep, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiment: no seeds")
 	}
-	out := &SeedSweep{Seeds: append([]int64(nil), seeds...), Limit: limit}
+	out := &SeedSweep{
+		Seeds:        append([]int64(nil), seeds...),
+		Limit:        limit,
+		FixedPPE:     make([]float64, len(seeds)),
+		HCAPPPPE:     make([]float64, len(seeds)),
+		HCAPPSpeedup: make([]float64, len(seeds)),
+	}
 	hcapp, err := config.SchemeByKind(config.HCAPP)
 	if err != nil {
 		return nil, err
 	}
-	for _, seed := range seeds {
+	violated := make([]bool, len(seeds))
+	err = r.Tasks(context.Background(), len(seeds), func(ctx context.Context, i int) error {
+		// The inner suite loop stays sequential: nesting batches on the
+		// shared pool could exhaust it and deadlock, and one seed's runs
+		// already saturate a worker.
 		ev := NewEvaluator().WithTargetDur(dur)
-		ev.Cfg.Seed = seed
+		ev.Cfg.Seed = seeds[i]
 		var fixedPPE, hcPPE, hcSp []float64
-		violated := false
 		for _, combo := range Suite() {
-			base, err := ev.Run(RunSpec{Combo: combo, Scheme: ev.FixedScheme(), Limit: limit})
+			base, err := ev.RunContext(ctx, RunSpec{Combo: combo, Scheme: ev.FixedScheme(), Limit: limit})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			r, err := ev.Run(RunSpec{Combo: combo, Scheme: hcapp, Limit: limit})
+			run, err := ev.RunContext(ctx, RunSpec{Combo: combo, Scheme: hcapp, Limit: limit})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			fixedPPE = append(fixedPPE, base.PPE)
-			hcPPE = append(hcPPE, r.PPE)
-			_, sp := r.SpeedupOver(base)
+			hcPPE = append(hcPPE, run.PPE)
+			_, sp := run.SpeedupOver(base)
 			hcSp = append(hcSp, sp)
-			if r.Violated {
-				violated = true
+			if run.Violated {
+				violated[i] = true
 			}
 		}
-		out.FixedPPE = append(out.FixedPPE, stats.Mean(fixedPPE...))
-		out.HCAPPPPE = append(out.HCAPPPPE, stats.Mean(hcPPE...))
-		out.HCAPPSpeedup = append(out.HCAPPSpeedup, stats.Mean(hcSp...))
-		if violated {
+		out.FixedPPE[i] = stats.Mean(fixedPPE...)
+		out.HCAPPPPE[i] = stats.Mean(hcPPE...)
+		out.HCAPPSpeedup[i] = stats.Mean(hcSp...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range violated {
+		if v {
 			out.Violations++
 		}
 	}

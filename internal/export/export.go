@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"hcapp/internal/experiment"
@@ -180,12 +181,21 @@ func MatrixMarkdown(m *experiment.Matrix) string {
 		out += "| " + r + " |"
 		for _, c := range m.Cols {
 			if v, ok := m.Get(r, c); ok {
-				out += fmt.Sprintf(" %.3f |", v)
+				out += " " + markdownCell(v) + " |"
 			} else {
 				out += " – |"
 			}
 		}
-		out += fmt.Sprintf(" %.3f |\n", m.RowAvg(r))
+		out += " " + markdownCell(m.RowAvg(r)) + " |\n"
 	}
 	return out
+}
+
+// markdownCell renders one matrix value for the markdown table; NaN (a
+// scheme that failed to complete every component) prints as "fail".
+func markdownCell(v float64) string {
+	if math.IsNaN(v) {
+		return "fail"
+	}
+	return fmt.Sprintf("%.3f", v)
 }

@@ -27,6 +27,10 @@ var ErrShuttingDown = fmt.Errorf("server: shutting down")
 type Manager struct {
 	cfg     Config
 	metrics *metrics
+	// runner is the shared experiment scheduler all jobs execute on; its
+	// width matches the worker count, so routing every simulation through
+	// it adds no queuing while publishing per-run telemetry.
+	runner *experiment.Runner
 
 	queue chan *Job
 
@@ -43,6 +47,7 @@ func NewManager(cfg Config, m *metrics) *Manager {
 	mgr := &Manager{
 		cfg:     cfg,
 		metrics: m,
+		runner:  experiment.NewRunner(cfg.Workers).WithMetrics(m.runner),
 		queue:   make(chan *Job, cfg.QueueDepth),
 		jobs:    make(map[string]*Job),
 	}
@@ -252,16 +257,23 @@ type panicError struct{ val any }
 
 func (p panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
 
-// simulate runs the spec under ctx with panic containment: a panicking
-// simulation fails its own job instead of killing the worker goroutine
-// (which would silently shrink the pool for the life of the process).
-func (mgr *Manager) simulate(ctx context.Context, ev *experiment.Evaluator, spec experiment.RunSpec) (res experiment.RunResult, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = panicError{val: r}
-		}
-	}()
-	return ev.RunContext(ctx, spec)
+// simulate runs the spec on the shared runner under ctx with panic
+// containment: a panicking simulation fails its own job instead of
+// killing a pool goroutine (which would silently shrink the pool for
+// the life of the process). The recover lives inside the task closure
+// because the task executes on the runner's goroutine, not this one.
+func (mgr *Manager) simulate(ctx context.Context, ev *experiment.Evaluator, spec experiment.RunSpec) (experiment.RunResult, error) {
+	var res experiment.RunResult
+	err := mgr.runner.Tasks(ctx, 1, func(ctx context.Context, _ int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = panicError{val: r}
+			}
+		}()
+		res, err = ev.RunContext(ctx, spec)
+		return err
+	})
+	return res, err
 }
 
 func isFixed(spec experiment.RunSpec) bool {

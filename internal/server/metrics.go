@@ -2,6 +2,7 @@ package server
 
 import (
 	"hcapp/internal/config"
+	"hcapp/internal/experiment"
 	"hcapp/internal/sched"
 	"hcapp/internal/sim"
 	"hcapp/internal/telemetry"
@@ -31,6 +32,11 @@ type metrics struct {
 	target   *telemetry.GaugeVec   // job
 
 	httpRequests *telemetry.CounterVec // handler
+
+	// runner is the experiment scheduler's family set (per-run duration
+	// histogram, in-flight and queue-depth gauges), shared by the job
+	// workers' runner so /metrics reports suite progress.
+	runner *experiment.RunnerMetrics
 }
 
 func newMetrics() *metrics {
@@ -73,6 +79,7 @@ func newMetrics() *metrics {
 			"The global controller's power target (PSPEC).", "job"),
 		httpRequests: reg.Counter("hcapp_http_requests_total",
 			"API requests served.", "handler"),
+		runner: experiment.NewRunnerMetrics(reg),
 	}
 }
 

@@ -202,6 +202,15 @@ func TestEndToEnd(t *testing.T) {
 	if m[fmt.Sprintf("hcapp_power_limit_watts{job=%s,limit=package-pin}", st.ID)] != 100 {
 		t.Fatal("power limit gauge missing or wrong")
 	}
+	// The job executed through the shared experiment runner, so the
+	// per-run scheduler families must report it.
+	if m["hcapp_run_duration_seconds_count"] < 1 {
+		t.Fatalf("run_duration_seconds_count = %g, want >= 1", m["hcapp_run_duration_seconds_count"])
+	}
+	if m["hcapp_runs_in_flight"] != 0 || m["hcapp_runs_waiting"] != 0 {
+		t.Fatalf("runner gauges nonzero after job completed: in_flight %g, waiting %g",
+			m["hcapp_runs_in_flight"], m["hcapp_runs_waiting"])
+	}
 }
 
 func keysLike(m map[string]float64, frag string) []string {

@@ -24,10 +24,23 @@ go test -race ./...
 
 # The step-overhead contracts compare inlined hot paths; race
 # instrumentation disables that inlining, so they skip under -race and
-# run here without it.
+# run here without it. The parallel-speedup contract needs undistorted
+# wall clocks too (it self-skips on hosts with fewer than 4 CPUs).
 echo "== timing guards (no race) =="
 go test -run TestInstrumentedStepOverhead -count=1 .
 go test -run TestFaultInjectionStepOverhead -count=1 ./internal/sched
+go test -run TestRunnerParallelSpeedup -count=1 ./internal/experiment
+
+# Parallel determinism: the suite sharded across 4 workers must emit
+# byte-identical output to a sequential run of the same binary.
+echo "== parallel determinism diff =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/hcappsim" ./cmd/hcappsim
+"$tmp/hcappsim" -experiment fig4,fig5,fig10 -dur 1 -workers 1 >"$tmp/seq.out"
+"$tmp/hcappsim" -experiment fig4,fig5,fig10 -dur 1 -workers 4 >"$tmp/par.out"
+diff -u "$tmp/seq.out" "$tmp/par.out"
+echo "parallel output identical"
 
 echo "== fuzz (short) =="
 go test -run NoSuchTest -fuzz FuzzParseText -fuzztime 5s ./internal/telemetry
