@@ -11,7 +11,20 @@
 //	GET  /v1/jobs/{id}        job status + result
 //	GET  /v1/jobs/{id}/trace  page through the live power trace
 //	GET  /metrics             Prometheus text exposition
-//	GET  /healthz             liveness + queue state
+//	GET  /healthz             process liveness (always 200 once serving)
+//	GET  /readyz              routability (503 while draining/unready)
+//
+// The process can also run as one node of a distributed fleet
+// (docs/CLUSTER.md):
+//
+//	hcapp-serve -role coordinator -addr :8080
+//	hcapp-serve -role worker -addr :8081 -coordinator http://host:8080
+//
+// A coordinator additionally mounts POST /v1/cluster/{register,
+// heartbeat,run} and GET /v1/cluster/workers, shards job batches across
+// registered workers, and dedups identical work fleet-wide. The default
+// role, standalone, is bit-compatible with every previous release:
+// jobs simulate on the local pool with no cluster machinery involved.
 //
 // The process drains gracefully on SIGTERM/SIGINT: in-flight
 // simulations finish (bounded by -drain), new submissions get 503.
@@ -28,9 +41,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"hcapp/internal/cluster"
 	"hcapp/internal/server"
 	"hcapp/internal/sim"
 )
@@ -44,6 +59,13 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock budget; exceeding it fails the job with a timeout reason (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown drain budget")
 	drainAlias := flag.Duration("drain", 0, "deprecated alias for -drain-timeout")
+	role := flag.String("role", "standalone", "node role: standalone, coordinator or worker")
+	coordinator := flag.String("coordinator", "", "coordinator base URL (worker role)")
+	advertise := flag.String("advertise", "", "base URL the coordinator dials this worker back on (worker role; default derived from -addr on loopback)")
+	workerID := flag.String("worker-id", "", "stable fleet identity (worker role; default random)")
+	heartbeat := flag.Duration("heartbeat", 2*time.Second, "fleet heartbeat interval (coordinator role)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admitted items/sec, 0 = unlimited (coordinator role)")
+	tenantBurst := flag.Int("tenant-burst", 256, "per-tenant token-bucket burst (coordinator role)")
 	flag.Parse()
 
 	drain := drainTimeout
@@ -51,13 +73,35 @@ func main() {
 		drain = drainAlias
 	}
 
-	srv := server.New(server.Config{
+	switch *role {
+	case "standalone", "coordinator":
+	case "worker":
+		if *coordinator == "" {
+			fmt.Fprintln(os.Stderr, "hcapp-serve: -role worker requires -coordinator URL")
+			os.Exit(2)
+		}
+		runWorker(*addr, *coordinator, *advertise, *workerID, *workers, *drain)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "hcapp-serve: unknown -role %q (valid: standalone, coordinator, worker)\n", *role)
+		os.Exit(2)
+	}
+
+	cfg := server.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		MaxDur:     sim.Time(*maxDurMS * float64(sim.Millisecond)),
 		MaxJobs:    *maxJobs,
 		JobTimeout: *jobTimeout,
-	})
+	}
+	if *role == "coordinator" {
+		cfg.Cluster = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			HeartbeatEvery: *heartbeat,
+			TenantRate:     *tenantRate,
+			TenantBurst:    *tenantBurst,
+		})
+	}
+	srv := server.New(cfg)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -70,7 +114,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("hcapp-serve: listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+		log.Printf("hcapp-serve: %s listening on %s (%d workers, queue %d)", *role, *addr, *workers, *queue)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -93,4 +137,61 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("hcapp-serve: drained cleanly")
+}
+
+// runWorker serves the worker role: a slice-execution HTTP surface plus
+// a register/heartbeat loop against the coordinator. It blocks until
+// SIGTERM/SIGINT and then drains the listener.
+func runWorker(addr, coordinator, advertise, id string, workers int, drain time.Duration) {
+	if advertise == "" {
+		// A bare ":8081" listen address reaches itself on loopback; a
+		// worker on another host must advertise explicitly.
+		host := addr
+		if strings.HasPrefix(host, ":") {
+			host = "127.0.0.1" + host
+		}
+		advertise = "http://" + host
+	}
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		ID:            id,
+		Coordinator:   coordinator,
+		AdvertiseAddr: advertise,
+		Workers:       workers,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           w.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("hcapp-serve: worker %s listening on %s (advertising %s, %d local workers)",
+			w.ID(), addr, advertise, workers)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	go func() {
+		if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+			log.Printf("hcapp-serve: worker loop: %v", err)
+		}
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("hcapp-serve: worker %s draining (budget %s)", w.ID(), drain)
+	case err := <-errCh:
+		log.Printf("hcapp-serve: listener failed: %v", err)
+		os.Exit(1)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("hcapp-serve: http shutdown: %v", err)
+	}
+	log.Printf("hcapp-serve: worker %s drained", w.ID())
 }

@@ -7,13 +7,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
+	"hcapp/internal/cluster"
 	"hcapp/internal/config"
 	"hcapp/internal/experiment"
 	"hcapp/internal/noc"
@@ -27,6 +30,8 @@ func main() {
 	msgNS := flag.Int64("msg-ns", 120, "per-message serialization on the collection network, ns")
 	tree := flag.Bool("tree", false, "use an aggregation tree instead of a shared bus")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (output is identical at any width)")
+	coordinator := flag.String("coordinator", "", "offload sweep cells to the fleet coordinator at this URL (rendered output is identical)")
+	tenant := flag.String("tenant", "", "fleet tenant id for rate limiting with -coordinator")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -36,6 +41,19 @@ func main() {
 	}
 
 	sc := experiment.DefaultScalingConfig()
+	if *coordinator != "" {
+		fleet, err := cluster.NewClient(*coordinator)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hcapp-sweep:", err)
+			os.Exit(2)
+		}
+		fleet.Tenant = *tenant
+		if err := fleet.Ping(context.Background(), 10*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "hcapp-sweep:", err)
+			os.Exit(2)
+		}
+		sc.Cell = fleet.ScalingCellFunc()
+	}
 	sc.Dur = sim.Time(*durMS * float64(sim.Millisecond))
 	if *tree {
 		sc.Network = noc.DefaultTree()

@@ -14,12 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
+	"hcapp/internal/cluster"
 	"hcapp/internal/config"
 	"hcapp/internal/experiment"
 	"hcapp/internal/fault"
@@ -90,6 +93,9 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	combo := flag.String("combo", "Burst-Burst", "combo for fig1/fig2 traces")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (output is identical at any width)")
+	coordinator := flag.String("coordinator", "", "offload simulations to the fleet coordinator at this URL (rendered output is identical)")
+	priority := flag.String("priority", cluster.PriorityBatch, "fleet priority class with -coordinator: interactive or batch")
+	tenant := flag.String("tenant", "", "fleet tenant id for rate limiting with -coordinator")
 	flag.Parse()
 
 	ids, err := parseExperimentIDs(*exp)
@@ -107,8 +113,32 @@ func main() {
 	ev := experiment.NewEvaluator().WithTargetDur(sim.Time(*dur * float64(sim.Millisecond))).WithRunner(runner)
 	ev.Cfg.Seed = *seed
 
+	var fleet *cluster.Client
+	if *coordinator != "" {
+		if !cluster.ValidPriority(*priority) {
+			fmt.Fprintf(os.Stderr, "hcappsim: unknown -priority %q (valid: %s, %s)\n",
+				*priority, cluster.PriorityInteractive, cluster.PriorityBatch)
+			os.Exit(2)
+		}
+		fleet, err = cluster.NewClient(*coordinator)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hcappsim: %v\n", err)
+			os.Exit(2)
+		}
+		fleet.Priority = *priority
+		fleet.Tenant = *tenant
+		if err := fleet.Ping(context.Background(), 10*time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "hcappsim: %v\n", err)
+			os.Exit(2)
+		}
+		// Uncached runs now execute on the fleet; the local run cache,
+		// single-flight dedup, and all rendering are untouched, so output
+		// is byte-identical to a local run.
+		ev.Remote = fleet
+	}
+
 	for _, id := range ids {
-		if err := run(ev, runner, id, *combo); err != nil {
+		if err := run(ev, runner, fleet, id, *combo); err != nil {
 			fmt.Fprintf(os.Stderr, "hcappsim: %s: %v\n", id, err)
 			os.Exit(1)
 		}
@@ -116,7 +146,7 @@ func main() {
 	}
 }
 
-func run(ev *experiment.Evaluator, runner *experiment.Runner, id, comboName string) error {
+func run(ev *experiment.Evaluator, runner *experiment.Runner, fleet *cluster.Client, id, comboName string) error {
 	switch id {
 	case "table1":
 		fmt.Print(experiment.Table1())
@@ -183,6 +213,11 @@ func run(ev *experiment.Evaluator, runner *experiment.Runner, id, comboName stri
 		return render(ev.Fig10())
 	case "scaling":
 		sc := experiment.DefaultScalingConfig()
+		if fleet != nil {
+			// The scaling sweep builds engines directly rather than going
+			// through the evaluator, so it offloads cell-by-cell.
+			sc.Cell = fleet.ScalingCellFunc()
+		}
 		res, err := experiment.RunScalingWith(runner, ev.Cfg, sc)
 		if err != nil {
 			return err

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"hcapp/internal/config"
+	"hcapp/internal/experiment"
+	"hcapp/internal/sim"
+)
+
+// randomID returns a 12-hex-digit random id (worker identities).
+func randomID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Client submits batches to a coordinator. It implements
+// experiment.RemoteRunner, so pointing Evaluator.Remote at a Client
+// routes every uncached simulation of a CLI suite through the fleet
+// while local caching, single-flight, and rendering stay untouched.
+type Client struct {
+	base string
+	http *http.Client
+	// Tenant buckets this client's requests for rate limiting.
+	Tenant string
+	// Priority is the client's class: PriorityBatch (default for CLI
+	// suites) or PriorityInteractive.
+	Priority string
+}
+
+// NewClient builds a client for the coordinator at base
+// ("http://host:port", trailing slash tolerated).
+func NewClient(base string) (*Client, error) {
+	base = strings.TrimRight(base, "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		return nil, fmt.Errorf("cluster: coordinator URL %q must start with http:// or https://", base)
+	}
+	return &Client{base: base, http: &http.Client{}, Priority: PriorityBatch}, nil
+}
+
+// Ping waits until the coordinator answers /readyz (workers registered,
+// not draining), retrying connection failures and 503s until the
+// deadline. It returns an error when the coordinator stays unreachable
+// or unready — the CLIs exit 2 on that.
+func (c *Client) Ping(ctx context.Context, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	var last error
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := (&http.Client{Timeout: 2 * time.Second}).Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Errorf("coordinator %s not ready: /readyz status %d", c.base, resp.StatusCode)
+		} else {
+			last = fmt.Errorf("coordinator %s unreachable: %w", c.base, err)
+		}
+		if time.Now().After(deadline) {
+			return last
+		}
+		select {
+		case <-time.After(250 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Run submits one batch and returns its index-aligned results.
+func (c *Client) Run(ctx context.Context, params Params, items []Item) (*RunResponse, error) {
+	body, err := json.Marshal(RunRequest{
+		Tenant:   c.Tenant,
+		Priority: c.Priority,
+		Params:   params,
+		Items:    items,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/cluster/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		json.NewDecoder(resp.Body).Decode(&ae)
+		if ae.Error == "" {
+			ae.Error = fmt.Sprintf("status %d", resp.StatusCode)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return nil, fmt.Errorf("%w: %s", ErrThrottled, ae.Error)
+		}
+		return nil, fmt.Errorf("cluster: run: %s", ae.Error)
+	}
+	var rr RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, err
+	}
+	if len(rr.Results) != len(items) {
+		return nil, fmt.Errorf("cluster: run: %d results for %d items", len(rr.Results), len(items))
+	}
+	return &rr, nil
+}
+
+// RunRemote implements experiment.RemoteRunner: one uncached spec
+// becomes a one-item fleet batch.
+func (c *Client) RunRemote(ctx context.Context, seed int64, targetDur sim.Time, maxDurFactor, fixedV float64, spec experiment.RunSpec) (experiment.RunResult, error) {
+	wire := SpecOf(spec)
+	resp, err := c.Run(ctx, Params{
+		Seed:         seed,
+		TargetDurNS:  targetDur,
+		MaxDurFactor: maxDurFactor,
+		FixedV:       fixedV,
+	}, []Item{{Spec: &wire}})
+	if err != nil {
+		return experiment.RunResult{}, err
+	}
+	ir := resp.Results[0]
+	if ir.Error != "" {
+		return experiment.RunResult{}, fmt.Errorf("cluster: remote run: %s", ir.Error)
+	}
+	if ir.Result == nil {
+		return experiment.RunResult{}, fmt.Errorf("cluster: remote run returned no result")
+	}
+	return ir.Result.RunResult(spec), nil
+}
+
+// ScalingCellFunc adapts the client to experiment.ScalingConfig.Cell so
+// hcapp-sweep's chiplet-count sweep executes cell-by-cell on the fleet.
+func (c *Client) ScalingCellFunc() func(ctx context.Context, cfg config.SystemConfig, sc experiment.ScalingConfig, triples int, period sim.Time, limit float64) (float64, float64, error) {
+	return func(ctx context.Context, cfg config.SystemConfig, sc experiment.ScalingConfig, triples int, period sim.Time, limit float64) (float64, float64, error) {
+		cell := ScalingCell{
+			Combo:          sc.Combo.Name,
+			Network:        sc.Network,
+			Triples:        triples,
+			PeriodNS:       period,
+			LimitW:         limit,
+			WindowNS:       sc.Window,
+			DurNS:          sc.Dur,
+			CentralFloorNS: sc.CentralFloor,
+			LimitPerTriple: sc.LimitPerTriple,
+			Seed:           cfg.Seed,
+		}
+		resp, err := c.Run(ctx, Params{Seed: cfg.Seed}, []Item{{Scaling: &cell}})
+		if err != nil {
+			return 0, 0, err
+		}
+		ir := resp.Results[0]
+		if ir.Error != "" {
+			return 0, 0, fmt.Errorf("cluster: scaling cell: %s", ir.Error)
+		}
+		if ir.Scaling == nil {
+			return 0, 0, fmt.Errorf("cluster: scaling cell returned no result")
+		}
+		return ir.Scaling.MaxOverLimit, ir.Scaling.PPE, nil
+	}
+}

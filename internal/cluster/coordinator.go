@@ -1,0 +1,600 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrThrottled means the tenant's token bucket could not pay for the
+	// batch (HTTP 429).
+	ErrThrottled = errors.New("cluster: tenant rate limit exceeded")
+	// ErrNoWorkers means no registered worker has a current heartbeat
+	// (HTTP 503).
+	ErrNoWorkers = errors.New("cluster: no live workers")
+	// ErrBadItem wraps malformed batch items (HTTP 400).
+	ErrBadItem = errors.New("cluster: invalid item")
+)
+
+// CoordinatorConfig sizes the fleet head.
+type CoordinatorConfig struct {
+	// HeartbeatEvery is the cadence advertised to workers (default 2 s).
+	HeartbeatEvery time.Duration
+	// ExpireAfter is how stale a worker's heartbeat may get before the
+	// coordinator stops routing to it (default 3 × HeartbeatEvery).
+	ExpireAfter time.Duration
+	// TenantRate refills each tenant's token bucket, items/second;
+	// <= 0 disables rate limiting.
+	TenantRate float64
+	// TenantBurst is the bucket size (default 256 items).
+	TenantBurst int
+	// MaxCacheEntries bounds the fleet result cache (default 4096,
+	// oldest-first eviction).
+	MaxCacheEntries int
+	// Client dials workers; nil uses a default client with no overall
+	// timeout (simulations are long; cancellation flows through the
+	// batch context).
+	Client *http.Client
+	// Logf receives operational events (worker death, re-shards); nil
+	// means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 2 * time.Second
+	}
+	if c.ExpireAfter <= 0 {
+		c.ExpireAfter = 3 * c.HeartbeatEvery
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = 256
+	}
+	if c.MaxCacheEntries <= 0 {
+		c.MaxCacheEntries = 4096
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Coordinator is the fleet head: it tracks registered workers through
+// registration and heartbeats, shards batches across the live ones with
+// indexed result slots, re-shards slices lost to worker death, and
+// fronts everything with a fleet-wide single-flight content-addressed
+// result cache.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	metrics *Metrics
+	limiter *Limiter
+	sem     *prioSem
+	now     func() time.Time
+
+	mu         sync.Mutex
+	workers    map[string]*workerState
+	cache      map[string]ItemResult
+	cacheOrder []string
+	inflight   map[string]*flight
+}
+
+type workerState struct {
+	info     RegisterRequest
+	lastSeen time.Time
+	// dead marks a worker that failed a dispatch; routing stops
+	// immediately (faster than heartbeat expiry) until it heartbeats or
+	// re-registers.
+	dead bool
+}
+
+// flight is one in-progress batch item; fleet-wide single-flight means
+// every concurrent batch wanting the same key blocks here while exactly
+// one worker simulates it.
+type flight struct {
+	done chan struct{}
+	res  ItemResult
+	err  error
+}
+
+// NewCoordinator builds a coordinator with no workers yet.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:      cfg,
+		now:      time.Now,
+		workers:  make(map[string]*workerState),
+		cache:    make(map[string]ItemResult),
+		inflight: make(map[string]*flight),
+		sem:      newPrioSem(0),
+	}
+	c.limiter = NewLimiter(cfg.TenantRate, cfg.TenantBurst, func() time.Time { return c.now() })
+	return c
+}
+
+// WithMetrics attaches the cluster telemetry families.
+func (c *Coordinator) WithMetrics(m *Metrics) *Coordinator {
+	c.metrics = m
+	return c
+}
+
+// WithNow injects a clock (tests drive heartbeat expiry and token
+// refill deterministically).
+func (c *Coordinator) WithNow(now func() time.Time) *Coordinator {
+	c.now = now
+	return c
+}
+
+// Register records (or refreshes — registration is idempotent) a
+// worker.
+func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
+	if req.ID == "" || req.Addr == "" {
+		return RegisterResponse{}, fmt.Errorf("%w: register needs id and addr", ErrBadItem)
+	}
+	if req.Workers < 1 {
+		req.Workers = 1
+	}
+	c.mu.Lock()
+	c.workers[req.ID] = &workerState{info: req, lastSeen: c.now()}
+	c.refreshLiveLocked()
+	c.mu.Unlock()
+	return RegisterResponse{
+		HeartbeatEveryMS: c.cfg.HeartbeatEvery.Milliseconds(),
+		ExpireAfterMS:    c.cfg.ExpireAfter.Milliseconds(),
+	}, nil
+}
+
+// Heartbeat refreshes a worker's liveness; unknown ids report false and
+// the worker must re-register. A heartbeat revives a worker previously
+// declared dead (heartbeat flap), since a reachable worker is a usable
+// worker.
+func (c *Coordinator) Heartbeat(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[id]
+	if !ok {
+		return false
+	}
+	w.lastSeen = c.now()
+	w.dead = false
+	c.refreshLiveLocked()
+	return true
+}
+
+// WorkersLive counts workers the coordinator would route to right now.
+func (c *Coordinator) WorkersLive() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.liveLocked())
+}
+
+// WorkerList snapshots every registered worker (GET /v1/cluster/workers).
+func (c *Coordinator) WorkerList() []WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerInfo{
+			ID:         w.info.ID,
+			Addr:       w.info.Addr,
+			Workers:    w.info.Workers,
+			Live:       c.isLiveLocked(w),
+			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (c *Coordinator) isLiveLocked(w *workerState) bool {
+	return !w.dead && c.now().Sub(w.lastSeen) <= c.cfg.ExpireAfter
+}
+
+// liveLocked snapshots live workers sorted by id (stable shard
+// assignment within a dispatch round). Callers hold c.mu.
+func (c *Coordinator) liveLocked() []*workerState {
+	var ws []*workerState
+	for _, w := range c.workers {
+		if c.isLiveLocked(w) {
+			ws = append(ws, w)
+		}
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].info.ID < ws[j].info.ID })
+	return ws
+}
+
+// refreshLiveLocked republishes the live-worker gauge and retargets the
+// dispatch semaphore at one slice per live worker.
+func (c *Coordinator) refreshLiveLocked() {
+	n := len(c.liveLocked())
+	c.metrics.setWorkersLive(n)
+	c.sem.setCapacity(n)
+}
+
+// markDead stops routing to a worker that failed a dispatch.
+func (c *Coordinator) markDead(id string) {
+	c.mu.Lock()
+	if w, ok := c.workers[id]; ok {
+		w.dead = true
+	}
+	c.refreshLiveLocked()
+	c.mu.Unlock()
+}
+
+// Allow debits the tenant's token bucket for n items, counting a
+// rejection under hcapp_tenant_throttled_total. The job manager calls
+// this at admission so 429 backpressure reaches the submitting client
+// synchronously.
+func (c *Coordinator) Allow(tenant string, n int) bool {
+	if c.limiter.Allow(tenant, n) {
+		return true
+	}
+	c.metrics.throttled(tenant)
+	return false
+}
+
+// RunBatch is the rate-limited entry: Allow + Execute.
+func (c *Coordinator) RunBatch(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	if !c.Allow(req.Tenant, len(req.Items)) {
+		return nil, ErrThrottled
+	}
+	return c.Execute(ctx, req)
+}
+
+// leaderItem is one item this batch must actually get simulated (cache
+// miss, no other flight in progress).
+type leaderItem struct {
+	idx  int
+	key  string
+	item Item
+	f    *flight
+}
+
+// Execute runs a batch to completion: resolve every item against the
+// fleet cache and in-flight table, shard the remainder across live
+// workers, and assemble results into index-aligned slots so the
+// response is byte-identical to a single-node run regardless of fleet
+// width, worker deaths, or scheduling. Rate limiting is the caller's
+// concern (RunBatch applies it; hcapp-serve debits at job admission).
+func (c *Coordinator) Execute(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	if !ValidPriority(req.Priority) {
+		return nil, fmt.Errorf("%w: unknown priority %q", ErrBadItem, req.Priority)
+	}
+	interactive := req.Priority == PriorityInteractive
+
+	keys := make([]string, len(req.Items))
+	for i, it := range req.Items {
+		k, err := it.key(req.Params)
+		if err != nil {
+			return nil, fmt.Errorf("%w: item %d: %v", ErrBadItem, i, err)
+		}
+		keys[i] = k
+	}
+	c.metrics.addItems(len(req.Items))
+
+	resp := &RunResponse{Results: make([]ItemResult, len(req.Items))}
+	type idxErr struct {
+		idx int
+		err error
+	}
+	var firstErr *idxErr
+	record := func(i int, err error) {
+		if firstErr == nil || i < firstErr.idx {
+			firstErr = &idxErr{i, err}
+		}
+	}
+
+	pending := make([]int, len(req.Items))
+	for i := range pending {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		var leaders []leaderItem
+		var waiters []leaderItem
+		hitsBefore := resp.CacheHits
+		c.mu.Lock()
+		for _, i := range pending {
+			key := keys[i]
+			if r, ok := c.cache[key]; ok {
+				resp.Results[i] = r
+				resp.CacheHits++
+				continue
+			}
+			if f, ok := c.inflight[key]; ok {
+				waiters = append(waiters, leaderItem{idx: i, key: key, f: f})
+				continue
+			}
+			f := &flight{done: make(chan struct{})}
+			c.inflight[key] = f
+			leaders = append(leaders, leaderItem{idx: i, key: key, item: req.Items[i], f: f})
+		}
+		c.mu.Unlock()
+		c.metrics.addCacheHits(resp.CacheHits - hitsBefore)
+
+		if len(leaders) > 0 {
+			c.dispatch(ctx, req.Params, interactive, leaders)
+		}
+
+		pending = pending[:0]
+		for _, li := range append(leaders, waiters...) {
+			select {
+			case <-li.f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			switch {
+			case li.f.err == nil:
+				resp.Results[li.idx] = li.f.res
+			case errors.Is(li.f.err, context.Canceled) || errors.Is(li.f.err, context.DeadlineExceeded):
+				// Another batch's cancellation, not a verdict on the
+				// item; retry unless our own context died too.
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				pending = append(pending, li.idx)
+			default:
+				record(li.idx, li.f.err)
+			}
+		}
+		if firstErr != nil {
+			return nil, firstErr.err
+		}
+	}
+	return resp, nil
+}
+
+// dispatch shards the leaders across live workers and resolves every
+// flight. Items are striped round-robin over the id-sorted live set;
+// a slice whose worker fails is re-striped over the survivors in the
+// next round — idempotent, because each item is a pure function of its
+// content hash, and deterministic, because results land in index slots.
+func (c *Coordinator) dispatch(ctx context.Context, params Params, interactive bool, leaders []leaderItem) {
+	remaining := leaders
+	for len(remaining) > 0 {
+		if err := ctx.Err(); err != nil {
+			c.resolveAll(remaining, ItemResult{}, err)
+			return
+		}
+		c.mu.Lock()
+		ws := c.liveLocked()
+		c.refreshLiveLocked()
+		c.mu.Unlock()
+		if len(ws) == 0 {
+			c.resolveAll(remaining, ItemResult{}, ErrNoWorkers)
+			return
+		}
+
+		nslices := len(ws)
+		if len(remaining) < nslices {
+			nslices = len(remaining)
+		}
+		slices := make([][]leaderItem, nslices)
+		for j, li := range remaining {
+			slices[j%nslices] = append(slices[j%nslices], li)
+		}
+
+		var (
+			wg     sync.WaitGroup
+			mu     sync.Mutex
+			failed []leaderItem
+		)
+		for si := range slices {
+			w, slice := ws[si].info, slices[si]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := c.sem.acquire(ctx, interactive); err != nil {
+					mu.Lock()
+					failed = append(failed, slice...)
+					mu.Unlock()
+					return
+				}
+				defer c.sem.release()
+				results, err := c.postSlice(ctx, w, params, slice)
+				if err != nil {
+					mu.Lock()
+					failed = append(failed, slice...)
+					mu.Unlock()
+					if ctx.Err() == nil {
+						// A real worker failure, not our own cancellation:
+						// stop routing to it and re-shard its slice.
+						c.cfg.Logf("cluster: worker %s (%s) lost mid-slice (%d items): %v; re-sharding",
+							w.ID, w.Addr, len(slice), err)
+						c.markDead(w.ID)
+						c.metrics.addResharded(len(slice))
+					}
+					return
+				}
+				for k, li := range slice {
+					ir := results[k]
+					if ir.Error != "" {
+						c.resolve(li, ItemResult{}, errors.New(ir.Error))
+					} else {
+						c.resolve(li, ir, nil)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		remaining = failed
+	}
+}
+
+// postSlice ships one slice to one worker and returns its index-aligned
+// results.
+func (c *Coordinator) postSlice(ctx context.Context, w RegisterRequest, params Params, slice []leaderItem) ([]ItemResult, error) {
+	items := make([]Item, len(slice))
+	for i, li := range slice {
+		items[i] = li.item
+	}
+	body, err := json.Marshal(RunRequest{Params: params, Items: items})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Addr+"/v1/worker/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hr, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("worker %s: status %d", w.ID, hr.StatusCode)
+	}
+	var resp RunResponse
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(slice) {
+		return nil, fmt.Errorf("worker %s: %d results for %d items", w.ID, len(resp.Results), len(slice))
+	}
+	return resp.Results, nil
+}
+
+// resolve finishes one flight: successful results enter the fleet cache
+// before waiters wake, so a spec simulated by any worker is never
+// simulated again.
+func (c *Coordinator) resolve(li leaderItem, res ItemResult, err error) {
+	c.mu.Lock()
+	li.f.res, li.f.err = res, err
+	delete(c.inflight, li.key)
+	if err == nil {
+		if _, ok := c.cache[li.key]; !ok {
+			c.cache[li.key] = res
+			c.cacheOrder = append(c.cacheOrder, li.key)
+			for len(c.cacheOrder) > c.cfg.MaxCacheEntries {
+				delete(c.cache, c.cacheOrder[0])
+				c.cacheOrder = c.cacheOrder[1:]
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(li.f.done)
+}
+
+func (c *Coordinator) resolveAll(lis []leaderItem, res ItemResult, err error) {
+	for _, li := range lis {
+		c.resolve(li, res, err)
+	}
+}
+
+// CacheLen reports fleet-cache occupancy (tests, introspection).
+func (c *Coordinator) CacheLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}
+
+// Handler mounts the coordinator's HTTP surface:
+//
+//	POST /v1/cluster/register   worker announces itself
+//	POST /v1/cluster/heartbeat  worker liveness
+//	POST /v1/cluster/run        execute a batch on the fleet
+//	GET  /v1/cluster/workers    registered workers + liveness
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/cluster/register", c.handleRegister)
+	mux.HandleFunc("/v1/cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/v1/cluster/run", c.handleRun)
+	mux.HandleFunc("/v1/cluster/workers", c.handleWorkers)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid register request: %v", err)
+		return
+	}
+	resp, err := c.Register(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req HeartbeatRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid heartbeat: %v", err)
+		return
+	}
+	if !c.Heartbeat(req.ID) {
+		writeError(w, http.StatusNotFound, "unknown worker %q: re-register", req.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid run request: %v", err)
+		return
+	}
+	resp, err := c.RunBatch(r.Context(), req)
+	switch {
+	case errors.Is(err, ErrThrottled):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrNoWorkers):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrBadItem):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Workers []WorkerInfo `json:"workers"`
+	}{c.WorkerList()})
+}

@@ -1,0 +1,419 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"hcapp/internal/config"
+	"hcapp/internal/experiment"
+	"hcapp/internal/sim"
+	"hcapp/internal/telemetry"
+)
+
+// testParams is the evaluator parameterization every test batch runs
+// under — short enough for CI, identical on fleet and local sides.
+func testParams() Params {
+	return DefaultParams(42, sim.Millisecond/2)
+}
+
+// testItems builds n spec items over distinct suite combos.
+func testItems(t *testing.T, n int) []Item {
+	t.Helper()
+	scheme, err := config.SchemeByKind(config.HCAPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := experiment.Suite()
+	if n > len(suite) {
+		t.Fatalf("test wants %d distinct combos, suite has %d", n, len(suite))
+	}
+	items := make([]Item, n)
+	for i := 0; i < n; i++ {
+		s := Spec{Combo: suite[i].Name, Scheme: scheme, Limit: config.PackagePinLimit()}
+		items[i] = Item{Spec: &s}
+	}
+	return items
+}
+
+// localResults simulates the items on a plain local evaluator — the
+// reference the fleet must match exactly.
+func localResults(t *testing.T, p Params, items []Item) []Result {
+	t.Helper()
+	ev := p.evaluator()
+	out := make([]Result, len(items))
+	for i, it := range items {
+		spec, err := it.Spec.RunSpec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ev.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = ResultOf(res)
+	}
+	return out
+}
+
+// startWorker boots a real worker behind an httptest listener and
+// returns it with its advertise address filled in.
+func startWorker(t *testing.T, id string) *Worker {
+	t.Helper()
+	w := NewWorker(WorkerConfig{ID: id, Workers: 2, Logf: t.Logf})
+	ts := httptest.NewServer(w.Handler())
+	t.Cleanup(ts.Close)
+	w.cfg.AdvertiseAddr = ts.URL
+	return w
+}
+
+func registerWorker(t *testing.T, c *Coordinator, w *Worker) {
+	t.Helper()
+	if _, err := c.Register(RegisterRequest{ID: w.cfg.ID, Addr: w.cfg.AdvertiseAddr, Workers: w.cfg.Workers}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func gatherMetrics(t *testing.T, reg *telemetry.Registry) map[string]float64 {
+	t.Helper()
+	samples, err := telemetry.ParseText(strings.NewReader(reg.Text()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return telemetry.GatherMap(samples)
+}
+
+// TestRegisterIdempotent: re-registering an id refreshes its record
+// instead of duplicating it, and the refresh adopts the new address.
+func TestRegisterIdempotent(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{Logf: t.Logf})
+	for _, addr := range []string{"http://h1:1", "http://h1:2"} {
+		if _, err := c.Register(RegisterRequest{ID: "w1", Addr: addr, Workers: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := c.WorkerList()
+	if len(ws) != 1 {
+		t.Fatalf("duplicate registration produced %d records, want 1", len(ws))
+	}
+	if ws[0].Addr != "http://h1:2" {
+		t.Fatalf("re-registration kept stale addr %q", ws[0].Addr)
+	}
+	if c.WorkersLive() != 1 {
+		t.Fatalf("WorkersLive = %d, want 1", c.WorkersLive())
+	}
+}
+
+// TestHeartbeatFlap drives an injected clock: a worker whose heartbeat
+// lapses past ExpireAfter stops receiving traffic, and a late heartbeat
+// revives it without re-registration.
+func TestHeartbeatFlap(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCoordinator(CoordinatorConfig{
+		HeartbeatEvery: time.Second,
+		ExpireAfter:    3 * time.Second,
+		Logf:           t.Logf,
+	}).WithNow(clk.now)
+
+	if _, err := c.Register(RegisterRequest{ID: "w1", Addr: "http://h:1", Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if c.WorkersLive() != 1 {
+		t.Fatal("fresh registration not live")
+	}
+
+	clk.advance(4 * time.Second)
+	if c.WorkersLive() != 0 {
+		t.Fatal("worker with lapsed heartbeat still live")
+	}
+
+	if !c.Heartbeat("w1") {
+		t.Fatal("known worker's heartbeat rejected")
+	}
+	if c.WorkersLive() != 1 {
+		t.Fatal("heartbeat did not revive the lapsed worker")
+	}
+	if c.Heartbeat("ghost") {
+		t.Fatal("unknown worker's heartbeat accepted; it must re-register")
+	}
+}
+
+// TestExecuteMatchesLocal: a batch sharded across two live workers
+// returns exactly what a single local evaluator produces, slot for
+// slot.
+func TestExecuteMatchesLocal(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCoordinator(CoordinatorConfig{Logf: t.Logf}).WithMetrics(NewMetrics(reg))
+	registerWorker(t, c, startWorker(t, "w-a"))
+	registerWorker(t, c, startWorker(t, "w-b"))
+
+	p := testParams()
+	items := testItems(t, 4)
+	resp, err := c.Execute(context.Background(), RunRequest{Priority: PriorityBatch, Params: p, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheHits != 0 {
+		t.Fatalf("first batch reported %d cache hits, want 0", resp.CacheHits)
+	}
+
+	want := localResults(t, p, items)
+	for i := range items {
+		if resp.Results[i].Error != "" {
+			t.Fatalf("item %d failed: %s", i, resp.Results[i].Error)
+		}
+		if !reflect.DeepEqual(*resp.Results[i].Result, want[i]) {
+			t.Fatalf("item %d diverged from local run:\n fleet: %+v\n local: %+v",
+				i, *resp.Results[i].Result, want[i])
+		}
+	}
+	if c.CacheLen() != len(items) {
+		t.Fatalf("fleet cache holds %d entries, want %d", c.CacheLen(), len(items))
+	}
+
+	// Second identical batch: 100%% fleet cache hit rate, visible on the
+	// counter, even after every worker is gone — cached results need no
+	// fleet at all.
+	c.markDead("w-a")
+	c.markDead("w-b")
+	if c.WorkersLive() != 0 {
+		t.Fatal("markDead left workers live")
+	}
+	resp2, err := c.Execute(context.Background(), RunRequest{Priority: PriorityBatch, Params: p, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.CacheHits != len(items) {
+		t.Fatalf("repeat batch hit cache %d/%d times", resp2.CacheHits, len(items))
+	}
+	if !reflect.DeepEqual(resp2.Results, resp.Results) {
+		t.Fatal("cached results diverged from originals")
+	}
+	m := gatherMetrics(t, reg)
+	if got := m["hcapp_cluster_cache_hits_total"]; got != float64(len(items)) {
+		t.Fatalf("hcapp_cluster_cache_hits_total = %g, want %d", got, len(items))
+	}
+	if got := m["hcapp_cluster_workers_live"]; got != 0 {
+		t.Fatalf("hcapp_cluster_workers_live = %g, want 0", got)
+	}
+}
+
+// TestWorkerDeathReshards: one of two workers fails every slice; its
+// share is re-sharded onto the survivor and the batch still matches the
+// local reference exactly.
+func TestWorkerDeathReshards(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCoordinator(CoordinatorConfig{Logf: t.Logf}).WithMetrics(NewMetrics(reg))
+
+	// The failing worker sorts first by id, so the round-robin stripe
+	// deterministically hands it items 0 and 2 of a 4-item batch.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "worker crashed", http.StatusInternalServerError)
+	}))
+	t.Cleanup(bad.Close)
+	if _, err := c.Register(RegisterRequest{ID: "a-bad", Addr: bad.URL, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	registerWorker(t, c, startWorker(t, "b-good"))
+
+	p := testParams()
+	items := testItems(t, 4)
+	resp, err := c.Execute(context.Background(), RunRequest{Priority: PriorityBatch, Params: p, Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localResults(t, p, items)
+	for i := range items {
+		if resp.Results[i].Error != "" {
+			t.Fatalf("item %d failed after re-shard: %s", i, resp.Results[i].Error)
+		}
+		if !reflect.DeepEqual(*resp.Results[i].Result, want[i]) {
+			t.Fatalf("item %d diverged from local run after re-shard", i)
+		}
+	}
+
+	m := gatherMetrics(t, reg)
+	if got := m["hcapp_cluster_jobs_resharded_total"]; got != 2 {
+		t.Fatalf("hcapp_cluster_jobs_resharded_total = %g, want 2", got)
+	}
+	if c.WorkersLive() != 1 {
+		t.Fatalf("WorkersLive = %d after death, want 1", c.WorkersLive())
+	}
+}
+
+// TestAllWorkersLost: a batch with no live workers fails with
+// ErrNoWorkers rather than hanging.
+func TestAllWorkersLost(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{Logf: t.Logf})
+	_, err := c.Execute(context.Background(), RunRequest{Params: testParams(), Items: testItems(t, 1)})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestRunBatchThrottles: the tenant bucket rejects whole batches it
+// cannot pay for and counts them per tenant; an affordable batch from
+// the same tenant passes the limiter.
+func TestRunBatchThrottles(t *testing.T) {
+	clk := newFakeClock()
+	reg := telemetry.NewRegistry()
+	c := NewCoordinator(CoordinatorConfig{
+		TenantRate:  1,
+		TenantBurst: 2,
+		Logf:        t.Logf,
+	}).WithMetrics(NewMetrics(reg)).WithNow(clk.now)
+
+	over := RunRequest{Tenant: "acme", Params: testParams(), Items: testItems(t, 3)}
+	if _, err := c.RunBatch(context.Background(), over); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("3-item batch against burst 2: err = %v, want ErrThrottled", err)
+	}
+	// Exactly at the burst: admitted past the limiter (it then fails on
+	// the empty fleet, proving the limiter was not what stopped it).
+	exact := RunRequest{Tenant: "acme", Params: testParams(), Items: testItems(t, 2)}
+	if _, err := c.RunBatch(context.Background(), exact); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("burst-sized batch: err = %v, want ErrNoWorkers (admitted)", err)
+	}
+	// Bucket now empty; one more item is throttled.
+	one := RunRequest{Tenant: "acme", Params: testParams(), Items: testItems(t, 1)}
+	if _, err := c.RunBatch(context.Background(), one); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("post-burst item: err = %v, want ErrThrottled", err)
+	}
+
+	m := gatherMetrics(t, reg)
+	if got := m[`hcapp_tenant_throttled_total{tenant=acme}`]; got != 2 {
+		t.Fatalf("hcapp_tenant_throttled_total{tenant=acme} = %g, want 2", got)
+	}
+}
+
+// TestExecuteRejectsBadItems: malformed items and unknown priorities
+// fail fast with ErrBadItem.
+func TestExecuteRejectsBadItems(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{Logf: t.Logf})
+	_, err := c.Execute(context.Background(), RunRequest{Params: testParams(), Items: []Item{{}}})
+	if !errors.Is(err, ErrBadItem) {
+		t.Fatalf("empty item: err = %v, want ErrBadItem", err)
+	}
+	_, err = c.Execute(context.Background(), RunRequest{Priority: "urgent", Params: testParams(), Items: testItems(t, 1)})
+	if !errors.Is(err, ErrBadItem) {
+		t.Fatalf("unknown priority: err = %v, want ErrBadItem", err)
+	}
+}
+
+// TestHTTPProtocolEndToEnd exercises the real wire path: workers
+// register and heartbeat over HTTP, a Client submits a batch, and the
+// response matches the local reference byte for byte after JSON
+// round-tripping.
+func TestHTTPProtocolEndToEnd(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCoordinator(CoordinatorConfig{Logf: t.Logf}).WithMetrics(NewMetrics(reg))
+	coordTS := httptest.NewServer(c.Handler())
+	t.Cleanup(coordTS.Close)
+
+	for i := 0; i < 2; i++ {
+		w := NewWorker(WorkerConfig{ID: fmt.Sprintf("w-%d", i), Coordinator: coordTS.URL, Workers: 2, Logf: t.Logf})
+		ts := httptest.NewServer(w.Handler())
+		t.Cleanup(ts.Close)
+		w.cfg.AdvertiseAddr = ts.URL
+		if w.Ready() {
+			t.Fatal("unregistered worker claims ready")
+		}
+		if err := w.Register(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if !w.Ready() {
+			t.Fatal("registered worker claims unready")
+		}
+		if err := w.heartbeat(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.WorkersLive() != 2 {
+		t.Fatalf("WorkersLive = %d, want 2", c.WorkersLive())
+	}
+
+	cl, err := NewClient(coordTS.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	items := testItems(t, 3)
+	resp, err := cl.Run(context.Background(), p, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localResults(t, p, items)
+	for i := range items {
+		if !reflect.DeepEqual(*resp.Results[i].Result, want[i]) {
+			t.Fatalf("item %d diverged over the wire:\n fleet: %+v\n local: %+v",
+				i, *resp.Results[i].Result, want[i])
+		}
+	}
+}
+
+// TestRemoteRunnerAndScalingCell: the Evaluator Remote hook and the
+// sweep Cell hook both route through the fleet and reproduce local
+// results exactly.
+func TestRemoteRunnerAndScalingCell(t *testing.T) {
+	c := NewCoordinator(CoordinatorConfig{Logf: t.Logf})
+	coordTS := httptest.NewServer(c.Handler())
+	t.Cleanup(coordTS.Close)
+	registerWorker(t, c, startWorker(t, "w-a"))
+
+	cl, err := NewClient(coordTS.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote evaluator run.
+	p := testParams()
+	item := testItems(t, 1)[0]
+	spec, err := item.Spec.RunSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := p.evaluator()
+	remote.Remote = cl
+	got, err := remote.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.evaluator().Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the wire projections: RunSpec.Combo carries benchmark
+	// builder funcs, which DeepEqual refuses regardless of identity.
+	if !reflect.DeepEqual(ResultOf(got), ResultOf(want)) {
+		t.Fatalf("remote evaluator run diverged:\n fleet: %+v\n local: %+v", got, want)
+	}
+	if got.Spec.Combo.Name != spec.Combo.Name {
+		t.Fatalf("remote result lost its spec: %q", got.Spec.Combo.Name)
+	}
+
+	// Scaling sweep cell.
+	sc := experiment.DefaultScalingConfig()
+	sc.Dur = sim.Millisecond / 2
+	cfg := config.Default()
+	const (
+		triples = 1
+		period  = sim.Microsecond
+	)
+	limit := sc.LimitPerTriple
+	fleetMax, fleetPPE, err := cl.ScalingCellFunc()(context.Background(), cfg, sc, triples, period, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localMax, localPPE, err := experiment.RunScalingCell(context.Background(), cfg, sc, triples, period, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleetMax != localMax || fleetPPE != localPPE {
+		t.Fatalf("scaling cell diverged: fleet (%v, %v) local (%v, %v)", fleetMax, fleetPPE, localMax, localPPE)
+	}
+}

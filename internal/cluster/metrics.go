@@ -1,0 +1,62 @@
+package cluster
+
+import "hcapp/internal/telemetry"
+
+// Metrics is the coordinator's telemetry family set; docs/METRICS.md
+// catalogues every series.
+type Metrics struct {
+	workersLive     *telemetry.Gauge
+	resharded       *telemetry.Counter
+	cacheHits       *telemetry.Counter
+	items           *telemetry.Counter
+	tenantThrottled *telemetry.CounterVec // tenant
+}
+
+// NewMetrics registers the cluster families on a registry.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		workersLive: reg.Gauge("hcapp_cluster_workers_live",
+			"Registered workers whose heartbeat is current.").With(),
+		resharded: reg.Counter("hcapp_cluster_jobs_resharded_total",
+			"Batch items re-sharded to surviving workers after a worker died mid-slice.").With(),
+		cacheHits: reg.Counter("hcapp_cluster_cache_hits_total",
+			"Batch items served from the fleet-wide content-addressed result cache.").With(),
+		items: reg.Counter("hcapp_cluster_items_total",
+			"Batch items admitted by the coordinator (cache hits included).").With(),
+		tenantThrottled: reg.Counter("hcapp_tenant_throttled_total",
+			"Batches rejected with 429 by the per-tenant token bucket.", "tenant"),
+	}
+}
+
+func (m *Metrics) setWorkersLive(n int) {
+	if m != nil {
+		m.workersLive.Set(float64(n))
+	}
+}
+
+func (m *Metrics) addResharded(n int) {
+	if m != nil {
+		m.resharded.Add(float64(n))
+	}
+}
+
+func (m *Metrics) addCacheHits(n int) {
+	if m != nil && n > 0 {
+		m.cacheHits.Add(float64(n))
+	}
+}
+
+func (m *Metrics) addItems(n int) {
+	if m != nil {
+		m.items.Add(float64(n))
+	}
+}
+
+func (m *Metrics) throttled(tenant string) {
+	if m != nil {
+		if tenant == "" {
+			tenant = "anon"
+		}
+		m.tenantThrottled.With(tenant).Inc()
+	}
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// prioSem is a two-class counting semaphore over dispatch slots: when a
+// slot frees, waiting interactive acquirers are admitted before any
+// batch acquirer, in FIFO order within each class. Capacity tracks the
+// live worker count, so at most one slice per live worker is in flight
+// and an interactive batch arriving at a busy fleet overtakes queued
+// batch-class slices rather than lining up behind them.
+type prioSem struct {
+	mu          sync.Mutex
+	capacity    int
+	inUse       int
+	interactive []chan struct{}
+	batch       []chan struct{}
+}
+
+func newPrioSem(capacity int) *prioSem { return &prioSem{capacity: capacity} }
+
+// setCapacity retargets the slot count (workers registered or died).
+// Shrinking below inUse is fine: release simply won't hand the freed
+// slot to a waiter until usage falls back under capacity.
+func (s *prioSem) setCapacity(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.capacity = n
+	s.wakeLocked()
+}
+
+// acquire blocks until a slot frees or ctx dies.
+func (s *prioSem) acquire(ctx context.Context, interactive bool) error {
+	s.mu.Lock()
+	if s.inUse < s.capacity {
+		s.inUse++
+		s.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	if interactive {
+		s.interactive = append(s.interactive, ch)
+	} else {
+		s.batch = append(s.batch, ch)
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		// Remove ourselves; if the slot was already handed over in the
+		// race, pass it on instead of leaking it.
+		select {
+		case <-ch:
+			s.inUse--
+			s.wakeLocked()
+		default:
+			s.interactive = removeWaiter(s.interactive, ch)
+			s.batch = removeWaiter(s.batch, ch)
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+func (s *prioSem) release() {
+	s.mu.Lock()
+	s.inUse--
+	s.wakeLocked()
+	s.mu.Unlock()
+}
+
+// wakeLocked hands free slots to waiters, interactive class first.
+func (s *prioSem) wakeLocked() {
+	for s.inUse < s.capacity {
+		var ch chan struct{}
+		switch {
+		case len(s.interactive) > 0:
+			ch, s.interactive = s.interactive[0], s.interactive[1:]
+		case len(s.batch) > 0:
+			ch, s.batch = s.batch[0], s.batch[1:]
+		default:
+			return
+		}
+		s.inUse++
+		close(ch)
+	}
+}
+
+func removeWaiter(ws []chan struct{}, ch chan struct{}) []chan struct{} {
+	for i, w := range ws {
+		if w == ch {
+			return append(ws[:i], ws[i+1:]...)
+		}
+	}
+	return ws
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrioSemInteractiveFirst: with the single slot held, an
+// interactive acquirer that arrived after a batch acquirer still gets
+// the slot first.
+func TestPrioSemInteractiveFirst(t *testing.T) {
+	s := newPrioSem(1)
+	if err := s.acquire(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	start := func(class string, interactive bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.acquire(context.Background(), interactive); err != nil {
+				t.Errorf("%s acquire: %v", class, err)
+				return
+			}
+			order <- class
+			s.release()
+		}()
+	}
+	start("batch", false)
+	// Let the batch waiter actually enqueue before the interactive one.
+	waitForWaiters(t, s, 1)
+	start("interactive", true)
+	waitForWaiters(t, s, 2)
+
+	s.release() // hand the held slot to the scheduler
+	wg.Wait()
+	close(order)
+
+	got := []string{<-order, <-order}
+	if got[0] != "interactive" || got[1] != "batch" {
+		t.Fatalf("wake order %v, want [interactive batch]", got)
+	}
+}
+
+// TestPrioSemCancelRemovesWaiter: a cancelled waiter neither blocks the
+// queue nor leaks its slot.
+func TestPrioSemCancelRemovesWaiter(t *testing.T) {
+	s := newPrioSem(1)
+	if err := s.acquire(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.acquire(ctx, true) }()
+	waitForWaiters(t, s, 1)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled acquire returned %v, want context.Canceled", err)
+	}
+	s.release()
+	// The slot must be acquirable again immediately.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := s.acquire(ctx2, false); err != nil {
+		t.Fatalf("slot leaked by cancelled waiter: %v", err)
+	}
+}
+
+// TestPrioSemCapacityGrowth: raising capacity wakes queued waiters.
+func TestPrioSemCapacityGrowth(t *testing.T) {
+	s := newPrioSem(0)
+	errc := make(chan error, 1)
+	go func() { errc <- s.acquire(context.Background(), false) }()
+	waitForWaiters(t, s, 1)
+	s.setCapacity(1)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("capacity growth did not wake the waiter")
+	}
+}
+
+func waitForWaiters(t *testing.T, s *prioSem, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		got := len(s.interactive) + len(s.batch)
+		s.mu.Unlock()
+		if got >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d queued waiters (have %d)", n, got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced time source for limiter and
+// liveness tests.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestLimiterBurstBoundary pins the inclusive boundary: a burst-sized
+// request against a full bucket is admitted exactly; one more item is
+// not.
+func TestLimiterBurstBoundary(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(1, 8, clk.now)
+
+	if !l.Allow("acme", 8) {
+		t.Fatal("burst-sized request against a full bucket must be admitted")
+	}
+	if l.Allow("acme", 1) {
+		t.Fatal("bucket is empty; one more item must be rejected")
+	}
+
+	// A different tenant owns its own full bucket.
+	if l.Allow("other", 9) {
+		t.Fatal("request above burst must be rejected even on a fresh bucket")
+	}
+	if !l.Allow("other", 8) {
+		t.Fatal("rejection must not debit: the full burst is still available")
+	}
+}
+
+// TestLimiterRefill drives the clock to verify tokens come back at
+// Rate per second and cap at the burst.
+func TestLimiterRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(2, 4, clk.now) // 2 tokens/s, burst 4
+
+	if !l.Allow("t", 4) {
+		t.Fatal("initial burst rejected")
+	}
+	if l.Allow("t", 1) {
+		t.Fatal("empty bucket admitted an item")
+	}
+	clk.advance(time.Second) // +2 tokens
+	if !l.Allow("t", 2) {
+		t.Fatal("refilled tokens not granted")
+	}
+	clk.advance(time.Hour) // caps at burst, not 7200
+	if l.Allow("t", 5) {
+		t.Fatal("refill exceeded the burst cap")
+	}
+	if !l.Allow("t", 4) {
+		t.Fatal("capped bucket should hold exactly the burst")
+	}
+}
+
+// TestLimiterUnlimited: rate <= 0 disables limiting entirely.
+func TestLimiterUnlimited(t *testing.T) {
+	l := NewLimiter(0, 1, nil)
+	if !l.Allow("t", 1<<20) {
+		t.Fatal("rate 0 must admit everything")
+	}
+}
+
+// TestLimiterAnonTenant: the empty tenant buckets under one shared
+// "anon" identity rather than unlimited fresh buckets.
+func TestLimiterAnonTenant(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(1, 2, clk.now)
+	if !l.Allow("", 2) {
+		t.Fatal("anon burst rejected")
+	}
+	if l.Allow("", 1) {
+		t.Fatal("second anonymous request must share the first's bucket")
+	}
+	if l.Tenants() != 1 {
+		t.Fatalf("anon requests created %d buckets, want 1", l.Tenants())
+	}
+}

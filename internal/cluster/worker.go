@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"hcapp/internal/config"
+	"hcapp/internal/experiment"
+)
+
+// WorkerConfig parameterizes one fleet worker.
+type WorkerConfig struct {
+	// ID names the worker; empty generates a random id.
+	ID string
+	// Coordinator is the coordinator's base URL ("http://host:port").
+	Coordinator string
+	// AdvertiseAddr is the base URL the coordinator dials back for
+	// slices; it must be reachable from the coordinator.
+	AdvertiseAddr string
+	// Workers sizes the local simulation pool (default 2).
+	Workers int
+	// Client talks to the coordinator; nil uses a 10 s-timeout client
+	// (register/heartbeat are small control messages).
+	Client *http.Client
+	// Logf receives operational events; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.ID == "" {
+		c.ID = "w-" + randomID()
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Worker executes batch slices the coordinator ships over. It holds one
+// bounded Runner so slices parallelize across local cores, and builds a
+// fresh evaluator per request from the wire Params — identical to the
+// evaluator a standalone run would use, which is what makes fleet output
+// byte-identical to single-node output.
+type Worker struct {
+	cfg    WorkerConfig
+	runner *experiment.Runner
+	// heartbeatEvery is learned from the register response.
+	heartbeatEvery time.Duration
+	registered     atomic.Bool
+}
+
+// NewWorker builds a worker (not yet registered).
+func NewWorker(cfg WorkerConfig) *Worker {
+	cfg = cfg.withDefaults()
+	return &Worker{
+		cfg:            cfg,
+		runner:         experiment.NewRunner(cfg.Workers),
+		heartbeatEvery: 2 * time.Second,
+	}
+}
+
+// ID reports the worker's fleet identity.
+func (w *Worker) ID() string { return w.cfg.ID }
+
+// Ready reports whether the worker has successfully registered — the
+// /readyz criterion: an unregistered worker receives no traffic, so a
+// load balancer should not route to it either.
+func (w *Worker) Ready() bool { return w.registered.Load() }
+
+// Register announces the worker to the coordinator and adopts the
+// advertised heartbeat cadence.
+func (w *Worker) Register(ctx context.Context) error {
+	body, err := json.Marshal(RegisterRequest{
+		ID:      w.cfg.ID,
+		Addr:    w.cfg.AdvertiseAddr,
+		Workers: w.cfg.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.cfg.Coordinator+"/v1/cluster/register", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: register: coordinator returned %d", resp.StatusCode)
+	}
+	var rr RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return err
+	}
+	if rr.HeartbeatEveryMS > 0 {
+		w.heartbeatEvery = time.Duration(rr.HeartbeatEveryMS) * time.Millisecond
+	}
+	w.registered.Store(true)
+	return nil
+}
+
+// heartbeat sends one liveness ping; a 404 means the coordinator forgot
+// us (restart, expiry), so re-register.
+func (w *Worker) heartbeat(ctx context.Context) error {
+	body, _ := json.Marshal(HeartbeatRequest{ID: w.cfg.ID})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.cfg.Coordinator+"/v1/cluster/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		w.registered.Store(false)
+		return w.Register(ctx)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: heartbeat: coordinator returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Run registers (retrying until ctx dies) and then heartbeats until ctx
+// dies. It returns nil on a clean context cancellation.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := w.Register(ctx); err == nil {
+			break
+		} else {
+			w.cfg.Logf("cluster: worker %s: register with %s failed: %v (retrying)",
+				w.cfg.ID, w.cfg.Coordinator, err)
+		}
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	w.cfg.Logf("cluster: worker %s registered with %s (heartbeat every %s)",
+		w.cfg.ID, w.cfg.Coordinator, w.heartbeatEvery)
+	t := time.NewTicker(w.heartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := w.heartbeat(ctx); err != nil && ctx.Err() == nil {
+				w.cfg.Logf("cluster: worker %s: heartbeat failed: %v", w.cfg.ID, err)
+			}
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// Handler mounts the worker's HTTP surface:
+//
+//	POST /v1/worker/run  execute a batch slice
+//	GET  /healthz        process liveness
+//	GET  /readyz         registered with the coordinator
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/worker/run", w.handleRun)
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/readyz", func(rw http.ResponseWriter, r *http.Request) {
+		if !w.Ready() {
+			writeError(rw, http.StatusServiceUnavailable, "not registered with coordinator")
+			return
+		}
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return mux
+}
+
+func (w *Worker) handleRun(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeError(rw, http.StatusBadRequest, "invalid slice request: %v", err)
+		return
+	}
+	resp, err := w.RunSlice(r.Context(), req.Params, req.Items)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// RunSlice executes the items on the local pool and returns
+// index-aligned results. A panicking simulation fails only its own item
+// (containment mirrors the standalone job manager): the stack is logged
+// once with the item index so fleet debugging has something to go on.
+func (w *Worker) RunSlice(ctx context.Context, params Params, items []Item) (*RunResponse, error) {
+	resp := &RunResponse{Results: make([]ItemResult, len(items))}
+	// The evaluator stays runner-less: items fan out through the pool
+	// right here, and nesting RunSpecs batches inside pool tasks would
+	// deadlock the shared runner.
+	ev := params.evaluator()
+	err := w.runner.Tasks(ctx, len(items), func(ctx context.Context, i int) error {
+		resp.Results[i] = w.runItem(ctx, ev, params, items[i], i)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (w *Worker) runItem(ctx context.Context, ev *experiment.Evaluator, params Params, it Item, idx int) (out ItemResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.cfg.Logf("cluster: worker %s: item %d panicked: %v\n%s", w.cfg.ID, idx, r, debug.Stack())
+			out = ItemResult{Error: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	switch {
+	case it.Spec != nil && it.Scaling == nil:
+		spec, err := it.Spec.RunSpec()
+		if err != nil {
+			return ItemResult{Error: err.Error()}
+		}
+		res, err := ev.RunContext(ctx, spec)
+		if err != nil {
+			return ItemResult{Error: err.Error()}
+		}
+		r := ResultOf(res)
+		return ItemResult{Result: &r}
+	case it.Scaling != nil && it.Spec == nil:
+		return runScalingItem(ctx, *it.Scaling)
+	default:
+		return ItemResult{Error: "item must set exactly one of spec, scaling"}
+	}
+}
+
+// runScalingItem rebuilds the sweep-cell inputs and simulates it.
+func runScalingItem(ctx context.Context, cell ScalingCell) ItemResult {
+	combo, err := experiment.ComboByName(cell.Combo)
+	if err != nil {
+		return ItemResult{Error: err.Error()}
+	}
+	cfg := config.Default()
+	cfg.Seed = cell.Seed
+	sc := experiment.ScalingConfig{
+		Network:        cell.Network,
+		CentralFloor:   cell.CentralFloorNS,
+		LimitPerTriple: cell.LimitPerTriple,
+		Window:         cell.WindowNS,
+		Combo:          combo,
+		Dur:            cell.DurNS,
+	}
+	maxOver, ppe, err := experiment.RunScalingCell(ctx, cfg, sc, cell.Triples, cell.PeriodNS, cell.LimitW)
+	if err != nil {
+		return ItemResult{Error: err.Error()}
+	}
+	return ItemResult{Scaling: &ScalingCellResult{MaxOverLimit: maxOver, PPE: ppe}}
+}

@@ -153,6 +153,24 @@ func (r RunResult) SpeedupOver(base RunResult) (perComp map[string]float64, tota
 	return perComp, stats.Geomean(vals...)
 }
 
+// Evaluator defaults shared by every construction site (NewEvaluator,
+// the job server's cluster delegation, remote fleet workers): runs are
+// bounded at DefaultMaxDurFactor × TargetDur, and the fixed-voltage
+// baseline rail sits at DefaultFixedV.
+const (
+	DefaultMaxDurFactor = 3.0
+	DefaultFixedV       = 0.95
+)
+
+// RemoteRunner executes one uncached spec somewhere else — a
+// coordinator/worker fleet — under the evaluator parameters that would
+// otherwise drive the local simulation. Implementations must be
+// deterministic: the same (seed, targetDur, maxDurFactor, fixedV, spec)
+// returns the same RunResult a local simulation would.
+type RemoteRunner interface {
+	RunRemote(ctx context.Context, seed int64, targetDur sim.Time, maxDurFactor, fixedV float64, spec RunSpec) (RunResult, error)
+}
+
 // Evaluator runs and caches simulations for one system configuration.
 // It is safe for concurrent use: the result and sizing caches are
 // single-flight, so overlapping requests for the same key simulate once
@@ -171,6 +189,11 @@ type Evaluator struct {
 	// stream should use a fresh evaluator per run, as the job server
 	// does.
 	Observer sched.StepObserver
+	// Remote, when non-nil, executes uncached runs on a remote fleet
+	// instead of simulating locally. The local result cache and
+	// single-flight still apply, so a suite driver deduplicates before
+	// anything crosses the network.
+	Remote RemoteRunner
 
 	// runner, when non-nil, fans RunSpecs batches across a worker pool.
 	runner *Runner
@@ -206,8 +229,8 @@ func NewEvaluator() *Evaluator {
 	return &Evaluator{
 		Cfg:          config.Default(),
 		TargetDur:    DefaultTargetDuration,
-		MaxDurFactor: 3,
-		FixedV:       0.95,
+		MaxDurFactor: DefaultMaxDurFactor,
+		FixedV:       DefaultFixedV,
 		cache:        make(map[string]RunResult),
 		sizing:       make(map[string]Sizing),
 		runInflight:  make(map[string]*runFlight),
@@ -257,6 +280,13 @@ func (ev *Evaluator) runKey(spec RunSpec) string {
 	return fmt.Sprintf("seed=%d|dur=%d|maxf=%g|fv=%g|%s",
 		ev.Cfg.Seed, ev.TargetDur, ev.MaxDurFactor, ev.FixedV, spec.key())
 }
+
+// CacheKey exposes the result-cache key for spec under the evaluator's
+// current parameters. The cluster coordinator content-addresses its
+// fleet-wide cache with this exact key, so a spec simulated by any
+// worker is recognized again no matter which node — or which local
+// evaluator — asks next.
+func (ev *Evaluator) CacheKey(spec RunSpec) string { return ev.runKey(spec) }
 
 // sizingKey keys the work-pool cache by combo plus the parameters
 // SizeWork reads.
@@ -361,6 +391,16 @@ func (ev *Evaluator) RunContext(ctx context.Context, spec RunSpec) (RunResult, e
 
 // runUncached builds and simulates one spec with no cache involvement.
 func (ev *Evaluator) runUncached(ctx context.Context, spec RunSpec, key string) (RunResult, error) {
+	if ev.Remote != nil {
+		res, err := ev.Remote.RunRemote(ctx, ev.Cfg.Seed, ev.TargetDur, ev.MaxDurFactor, ev.FixedV, spec)
+		if err != nil {
+			return RunResult{}, err
+		}
+		// The wire result carries metrics only; reattach the spec the
+		// caller asked for so renderers see a local-shaped RunResult.
+		res.Spec = spec
+		return res, nil
+	}
 	sizing, err := ev.sizingFor(spec.Combo)
 	if err != nil {
 		return RunResult{}, err

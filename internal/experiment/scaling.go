@@ -55,6 +55,12 @@ type ScalingConfig struct {
 	Combo Combo
 	// Dur is the run length.
 	Dur sim.Time
+	// Cell, when non-nil, executes one (triples, period) sweep cell —
+	// hcapp-sweep points it at a cluster coordinator so the fleet
+	// simulates instead of this process. Nil simulates locally via
+	// RunScalingCell. Implementations must match RunScalingCell
+	// bit-for-bit for the rendered sweep to be node-count independent.
+	Cell func(ctx context.Context, cfg config.SystemConfig, sc ScalingConfig, triples int, period sim.Time, limit float64) (maxOver, ppe float64, err error)
 }
 
 // DefaultScalingConfig returns the sweep used by the ablation bench.
@@ -121,6 +127,10 @@ func RunScalingWith(r *Runner, cfg config.SystemConfig, sc ScalingConfig) (*Scal
 		}
 	}
 
+	cell := sc.Cell
+	if cell == nil {
+		cell = RunScalingCell
+	}
 	err := r.Tasks(context.Background(), 2*len(sc.ChipletCounts), func(ctx context.Context, i int) error {
 		pt := &res.Points[i/2]
 		period := pt.HCAPPPeriod
@@ -128,7 +138,7 @@ func RunScalingWith(r *Runner, cfg config.SystemConfig, sc ScalingConfig) (*Scal
 			period = pt.CentralPeriod
 		}
 		limit := sc.LimitPerTriple * float64(pt.Triples)
-		rec, err := runScaled(cfg, sc, pt.Triples, period, limit)
+		maxOver, ppe, err := cell(ctx, cfg, sc, pt.Triples, period, limit)
 		if err != nil {
 			return err
 		}
@@ -136,11 +146,11 @@ func RunScalingWith(r *Runner, cfg config.SystemConfig, sc ScalingConfig) (*Scal
 			return err
 		}
 		if i%2 == 0 {
-			pt.HCAPPMax = rec.MaxWindowAvg(sc.Window) / limit
-			pt.HCAPPPPE = rec.PPE(limit)
+			pt.HCAPPMax = maxOver
+			pt.HCAPPPPE = ppe
 		} else {
-			pt.CentralMax = rec.MaxWindowAvg(sc.Window) / limit
-			pt.CentralPPE = rec.PPE(limit)
+			pt.CentralMax = maxOver
+			pt.CentralPPE = ppe
 		}
 		return nil
 	})
@@ -148,6 +158,22 @@ func RunScalingWith(r *Runner, cfg config.SystemConfig, sc ScalingConfig) (*Scal
 		return nil, err
 	}
 	return res, nil
+}
+
+// RunScalingCell simulates one cell of the chiplet-count sweep — an
+// n-triple package under one controller period — and reduces the trace
+// to the two numbers the sweep table plots. It is the unit of work the
+// cluster protocol ships to fleet workers, so its signature is exactly
+// the serializable sweep inputs.
+func RunScalingCell(ctx context.Context, cfg config.SystemConfig, sc ScalingConfig, triples int, period sim.Time, limit float64) (maxOver, ppe float64, err error) {
+	rec, err := runScaled(cfg, sc, triples, period, limit)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	return rec.MaxWindowAvg(sc.Window) / limit, rec.PPE(limit), nil
 }
 
 // runScaled builds an n-triple package under a single global controller

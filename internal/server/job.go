@@ -64,6 +64,10 @@ type JobRequest struct {
 	// Policy names a software supervision policy ("static-cpu",
 	// "progress-balancer", "critical-path"); empty means none.
 	Policy string `json:"policy,omitempty"`
+	// Tenant buckets this job for per-tenant rate limiting in
+	// coordinator role; empty means the anonymous tenant. Ignored in
+	// standalone role.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // JobResult is the simulation outcome serialized to clients — the

@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
+	"hcapp/internal/cluster"
 	"hcapp/internal/config"
 	"hcapp/internal/experiment"
 	"hcapp/internal/sim"
@@ -20,6 +23,12 @@ var ErrQueueFull = fmt.Errorf("server: job queue full")
 // ErrShuttingDown is returned by Submit after Shutdown begins.
 var ErrShuttingDown = fmt.Errorf("server: shutting down")
 
+// ErrTenantThrottled is returned by Submit when the coordinator's
+// per-tenant token bucket rejects the job (cluster mode only); the HTTP
+// layer maps it to 429 so backpressure reaches the submitting client
+// synchronously.
+var ErrTenantThrottled = fmt.Errorf("server: tenant rate limit exceeded")
+
 // Manager owns the job table and the bounded worker pool. Every job
 // simulates on its own evaluator — the concurrency test in
 // internal/experiment proves independent evaluators share no mutable
@@ -31,6 +40,10 @@ type Manager struct {
 	// width matches the worker count, so routing every simulation through
 	// it adds no queuing while publishing per-run telemetry.
 	runner *experiment.Runner
+	// cluster, when non-nil, is the coordinator jobs delegate to instead
+	// of simulating on the local runner (hcapp-serve -role coordinator).
+	cluster *cluster.Coordinator
+	logf    func(format string, args ...any)
 
 	queue chan *Job
 
@@ -38,16 +51,25 @@ type Manager struct {
 	jobs     map[string]*Job
 	order    []string // insertion order, for listing and retention
 	draining bool
+	// ready flips once the worker pool is running; /readyz reports 503
+	// until then (and again while draining).
+	ready bool
 
 	wg sync.WaitGroup
 }
 
 // NewManager builds a manager and starts its workers.
 func NewManager(cfg Config, m *metrics) *Manager {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
 	mgr := &Manager{
 		cfg:     cfg,
 		metrics: m,
 		runner:  experiment.NewRunner(cfg.Workers).WithMetrics(m.runner),
+		cluster: cfg.Cluster,
+		logf:    logf,
 		queue:   make(chan *Job, cfg.QueueDepth),
 		jobs:    make(map[string]*Job),
 	}
@@ -55,7 +77,23 @@ func NewManager(cfg Config, m *metrics) *Manager {
 		mgr.wg.Add(1)
 		go mgr.worker()
 	}
+	mgr.mu.Lock()
+	mgr.ready = true
+	mgr.mu.Unlock()
 	return mgr
+}
+
+// Ready reports whether this node should receive traffic: pool up, not
+// draining, and — in coordinator role — at least one live fleet worker
+// to execute on.
+func (mgr *Manager) Ready() bool {
+	mgr.mu.Lock()
+	ready := mgr.ready && !mgr.draining
+	mgr.mu.Unlock()
+	if ready && mgr.cluster != nil {
+		ready = mgr.cluster.WorkersLive() > 0
+	}
+	return ready
 }
 
 // Submit validates, registers and enqueues a job.
@@ -68,6 +106,14 @@ func (mgr *Manager) Submit(req JobRequest) (*Job, error) {
 	seed := int64(42) // the paper's seed
 	if req.Seed != nil {
 		seed = *req.Seed
+	}
+
+	// In coordinator role the per-tenant token bucket gates admission, so
+	// an over-limit tenant sees 429 at submit time instead of a queued
+	// job that fails later.
+	if mgr.cluster != nil && !mgr.cluster.Allow(req.Tenant, 1) {
+		mgr.metrics.jobsRejected.Inc()
+		return nil, ErrTenantThrottled
 	}
 
 	stepsPerSample := int(mgr.cfg.TraceSampleEvery / mgr.cfg.TimeStep())
@@ -196,19 +242,38 @@ func (mgr *Manager) runJob(j *Job) {
 		defer cancel()
 	}
 
-	// One evaluator per job: evaluators are cheap, carry the run cache
-	// we do not want shared, and isolate all mutable simulation state.
-	ev := experiment.NewEvaluator().WithTargetDur(j.dur)
-	ev.Cfg.Seed = j.seed
-	info := jobSpecInfo{limit: j.spec.Limit}
-	if !isFixed(j.spec) {
-		info.target = experiment.TargetPowerFor(j.spec.Limit)
-	}
-	obs := mgr.metrics.newJobObserver(j, info)
-	ev.Observer = obs
+	var res experiment.RunResult
+	var err error
+	if mgr.cluster != nil {
+		// Coordinator role: the fleet simulates. No per-step stream comes
+		// back over the wire, so the live trace stays empty; the static
+		// spec gauges still publish.
+		info := jobSpecInfo{limit: j.spec.Limit}
+		if !isFixed(j.spec) {
+			info.target = experiment.TargetPowerFor(j.spec.Limit)
+		}
+		mgr.metrics.newJobObserver(j, info)
+		res, err = mgr.delegate(ctx, j)
+		if err == nil {
+			if step := mgr.cfg.TimeStep(); step > 0 {
+				j.trace.setProgress(res.Duration, int64(res.Duration/step))
+			}
+		}
+	} else {
+		// One evaluator per job: evaluators are cheap, carry the run cache
+		// we do not want shared, and isolate all mutable simulation state.
+		ev := experiment.NewEvaluator().WithTargetDur(j.dur)
+		ev.Cfg.Seed = j.seed
+		info := jobSpecInfo{limit: j.spec.Limit}
+		if !isFixed(j.spec) {
+			info.target = experiment.TargetPowerFor(j.spec.Limit)
+		}
+		obs := mgr.metrics.newJobObserver(j, info)
+		ev.Observer = obs
 
-	res, err := mgr.simulate(ctx, ev, j.spec)
-	obs.flush()
+		res, err = mgr.simulate(ctx, ev, j.spec, j.id)
+		obs.flush()
+	}
 
 	reason := ""
 	if err != nil {
@@ -262,11 +327,15 @@ func (p panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
 // killing a pool goroutine (which would silently shrink the pool for
 // the life of the process). The recover lives inside the task closure
 // because the task executes on the runner's goroutine, not this one.
-func (mgr *Manager) simulate(ctx context.Context, ev *experiment.Evaluator, spec experiment.RunSpec) (experiment.RunResult, error) {
+// The stack is logged exactly once here, tagged with the job id —
+// hcapp_jobs_failed_total{reason="panic"} counts the event, but only
+// the log carries enough to debug it.
+func (mgr *Manager) simulate(ctx context.Context, ev *experiment.Evaluator, spec experiment.RunSpec, jobID string) (experiment.RunResult, error) {
 	var res experiment.RunResult
 	err := mgr.runner.Tasks(ctx, 1, func(ctx context.Context, _ int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
+				mgr.logf("hcapp-serve: job %s panicked: %v\n%s", jobID, r, debug.Stack())
 				err = panicError{val: r}
 			}
 		}()
@@ -274,6 +343,31 @@ func (mgr *Manager) simulate(ctx context.Context, ev *experiment.Evaluator, spec
 		return err
 	})
 	return res, err
+}
+
+// delegate ships one job to the fleet as a single-item interactive
+// batch. The tenant bucket was already debited at Submit, so this calls
+// Execute (not RunBatch) to avoid charging twice.
+func (mgr *Manager) delegate(ctx context.Context, j *Job) (experiment.RunResult, error) {
+	params := cluster.DefaultParams(j.seed, j.dur)
+	wire := cluster.SpecOf(j.spec)
+	resp, err := mgr.cluster.Execute(ctx, cluster.RunRequest{
+		Tenant:   j.req.Tenant,
+		Priority: cluster.PriorityInteractive,
+		Params:   params,
+		Items:    []cluster.Item{{Spec: &wire}},
+	})
+	if err != nil {
+		return experiment.RunResult{}, err
+	}
+	ir := resp.Results[0]
+	if ir.Error != "" {
+		return experiment.RunResult{}, fmt.Errorf("cluster: %s", ir.Error)
+	}
+	if ir.Result == nil {
+		return experiment.RunResult{}, fmt.Errorf("cluster: fleet returned no result")
+	}
+	return ir.Result.RunResult(j.spec), nil
 }
 
 func isFixed(spec experiment.RunSpec) bool {

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"hcapp/internal/cluster"
 	"hcapp/internal/sim"
 )
 
@@ -41,6 +42,14 @@ type Config struct {
 	// simulations that are slow in wall clock (a hung or mis-sized run
 	// must not pin a worker forever).
 	JobTimeout time.Duration
+	// Cluster, when non-nil, puts the server in coordinator role: jobs
+	// delegate to the fleet instead of the local pool, the cluster
+	// control-plane endpoints mount under /v1/cluster/, and /readyz
+	// requires at least one live fleet worker.
+	Cluster *cluster.Coordinator
+	// Logf receives operational events (panic stacks, fleet churn); nil
+	// means log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -88,7 +97,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/jobs", s.counted("jobs", s.handleJobs))
 	s.mux.HandleFunc("/v1/jobs/", s.counted("job", s.handleJob))
 	s.mux.HandleFunc("/healthz", s.counted("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.counted("readyz", s.handleReadyz))
 	s.mux.Handle("/metrics", s.countedHandler("metrics", s.metricsHandler()))
+	if cfg.Cluster != nil {
+		// The coordinator's telemetry families join the server registry so
+		// one /metrics scrape covers jobs and fleet alike.
+		cfg.Cluster.WithMetrics(cluster.NewMetrics(m.reg))
+		s.mux.Handle("/v1/cluster/", s.countedHandler("cluster", cfg.Cluster.Handler()))
+	}
 	return s
 }
 
@@ -161,6 +177,8 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		j, err := s.manager.Submit(req)
 		switch {
 		case err == ErrQueueFull:
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case err == ErrTenantThrottled:
 			writeError(w, http.StatusTooManyRequests, "%v", err)
 		case err == ErrShuttingDown:
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -253,22 +271,47 @@ type healthzResponse struct {
 	JobsKnown int    `json:"jobs_known"`
 }
 
+// handleHealthz is pure liveness: always 200 while the process can
+// serve HTTP, even mid-drain — restarting a draining process loses the
+// jobs it is trying to finish. Routability lives on /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.manager.mu.Lock()
 	known := len(s.manager.jobs)
 	draining := s.manager.draining
 	s.manager.mu.Unlock()
 	status := "ok"
-	code := http.StatusOK
 	if draining {
 		status = "draining"
-		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, healthzResponse{
+	writeJSON(w, http.StatusOK, healthzResponse{
 		Status:    status,
 		Workers:   s.cfg.Workers,
 		QueueLen:  s.manager.QueueLen(),
 		QueueCap:  s.cfg.QueueDepth,
 		JobsKnown: known,
 	})
+}
+
+// readyzResponse is the GET /readyz body.
+type readyzResponse struct {
+	Status string `json:"status"`
+	// FleetWorkers is the live fleet width (coordinator role only).
+	FleetWorkers *int `json:"fleet_workers,omitempty"`
+}
+
+// handleReadyz reports routability: 503 before the worker pool is up,
+// while draining, and — in coordinator role — while no fleet worker is
+// live to execute on. Load balancers poll this; /healthz stays 200
+// through all of it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var fleet *int
+	if s.cfg.Cluster != nil {
+		n := s.cfg.Cluster.WorkersLive()
+		fleet = &n
+	}
+	if !s.manager.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Status: "unready", FleetWorkers: fleet})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyzResponse{Status: "ready", FleetWorkers: fleet})
 }

@@ -92,3 +92,12 @@ func (b *traceBuffer) Page(offset, limit int) (out []TraceSample, next int, drop
 func (b *traceBuffer) Progress() (sim.Time, int64) {
 	return b.now.Load(), b.steps.Load()
 }
+
+// setProgress backfills the progress counters for a job whose
+// simulation ran elsewhere (fleet delegation): no per-step stream ever
+// reached this buffer, but the finished record should still report how
+// far the simulation got.
+func (b *traceBuffer) setProgress(now sim.Time, steps int64) {
+	b.now.Store(now)
+	b.steps.Store(steps)
+}

@@ -22,6 +22,12 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+# The fleet scheduler and its serve integration are the most
+# concurrency-heavy packages; run them race-enabled one extra time with
+# count=1 so caching never masks a racy interleaving.
+echo "== cluster packages under -race (uncached) =="
+go test -race -count=1 ./internal/cluster ./internal/server
+
 # The step-overhead contracts compare inlined hot paths; race
 # instrumentation disables that inlining, so they skip under -race and
 # run here without it. The parallel-speedup contract needs undistorted
@@ -41,6 +47,39 @@ go build -o "$tmp/hcappsim" ./cmd/hcappsim
 "$tmp/hcappsim" -experiment fig4,fig5,fig10 -dur 1 -workers 4 >"$tmp/par.out"
 diff -u "$tmp/seq.out" "$tmp/par.out"
 echo "parallel output identical"
+
+# Fleet determinism: the same suite executed on a coordinator with two
+# workers must diff clean against the sequential standalone output, with
+# mixed-priority clients hammering the fleet concurrently.
+echo "== cluster determinism diff (coordinator + 2 workers) =="
+go build -o "$tmp/hcapp-serve" ./cmd/hcapp-serve
+"$tmp/hcapp-serve" -role coordinator -addr 127.0.0.1:18080 &
+coord_pid=$!
+"$tmp/hcapp-serve" -role worker -addr 127.0.0.1:18081 -coordinator http://127.0.0.1:18080 &
+w1_pid=$!
+"$tmp/hcapp-serve" -role worker -addr 127.0.0.1:18082 -coordinator http://127.0.0.1:18080 &
+w2_pid=$!
+trap 'kill $coord_pid $w1_pid $w2_pid 2>/dev/null; rm -rf "$tmp"' EXIT
+
+# Two concurrent clients in different priority classes; each must match
+# the standalone output byte for byte. The clients' own readiness retry
+# (10 s patience on /readyz) absorbs fleet boot time.
+"$tmp/hcappsim" -experiment fig4,fig5 -dur 1 -workers 2 \
+	-coordinator http://127.0.0.1:18080 -priority interactive -tenant ci-a >"$tmp/fleet-a.out" &
+client_a=$!
+"$tmp/hcappsim" -experiment fig10 -dur 1 -workers 2 \
+	-coordinator http://127.0.0.1:18080 -priority batch -tenant ci-b >"$tmp/fleet-b.out" &
+client_b=$!
+wait $client_a
+wait $client_b
+"$tmp/hcappsim" -experiment fig4,fig5 -dur 1 -workers 1 >"$tmp/solo-a.out"
+"$tmp/hcappsim" -experiment fig10 -dur 1 -workers 1 >"$tmp/solo-b.out"
+diff -u "$tmp/solo-a.out" "$tmp/fleet-a.out"
+diff -u "$tmp/solo-b.out" "$tmp/fleet-b.out"
+kill $coord_pid $w1_pid $w2_pid 2>/dev/null
+wait $coord_pid $w1_pid $w2_pid 2>/dev/null || true
+trap 'rm -rf "$tmp"' EXIT
+echo "fleet output identical to standalone"
 
 echo "== fuzz (short) =="
 go test -run NoSuchTest -fuzz FuzzParseText -fuzztime 5s ./internal/telemetry
