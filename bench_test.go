@@ -376,6 +376,78 @@ func TestInstrumentedStepOverhead(t *testing.T) {
 	}
 }
 
+// newEnergyTrackedSystem builds the BenchmarkEngineStep system with the
+// energy-attribution ledger attached (unit meters on, per-step
+// activity-share split and ground-truth integration).
+func newEnergyTrackedSystem(tb testing.TB) *hcapp.System {
+	cfg := hcapp.DefaultConfig()
+	combo, err := hcapp.ComboByName("Hi-Hi")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys, err := hcapp.Build(cfg, combo, hcapp.BuildOptions{
+		Scheme:      hcapp.HCAPPScheme(),
+		TargetPower: hcapp.TargetPowerFor(hcapp.PackagePinLimit()),
+		TrackEnergy: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkEngineStepEnergyLedger is BenchmarkEngineStep with the energy
+// ledger attached; compare the two to price per-step attribution. The
+// budget is < 5% overhead (TestEnergyLedgerStepOverhead enforces it).
+func BenchmarkEngineStepEnergyLedger(b *testing.B) {
+	cfg := hcapp.DefaultConfig()
+	sys := newEnergyTrackedSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Engine.RunFor(cfg.TimeStep)
+	}
+}
+
+// TestEnergyLedgerStepOverhead measures energy-tracked vs plain engine
+// stepping back to back and fails if the ledger costs more than 5% —
+// the contract that lets fleet workers account every job's energy.
+func TestEnergyLedgerStepOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates the ledger ops being priced")
+	}
+	cfg := hcapp.DefaultConfig()
+	combo, err := hcapp.ComboByName("Hi-Hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := hcapp.Build(cfg, combo, hcapp.BuildOptions{
+		Scheme:      hcapp.HCAPPScheme(),
+		TargetPower: hcapp.TargetPowerFor(hcapp.PackagePinLimit()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracked := newEnergyTrackedSystem(t)
+	const span = 2 * hcapp.Millisecond
+	// Interleaved warm-up then measurement, so both runs see the same
+	// cache/turbo conditions.
+	base.Engine.RunFor(span)
+	tracked.Engine.RunFor(span)
+	tBase := stepTime(base, span)
+	tTracked := stepTime(tracked, span)
+	ratio := tTracked.Seconds() / tBase.Seconds()
+	t.Logf("plain %v, energy-tracked %v, ratio %.3f", tBase, tTracked, ratio)
+	if ratio > 1.05 {
+		t.Errorf("energy-ledger overhead %.1f%% exceeds the 5%% budget", 100*(ratio-1))
+	}
+	if tracked.Energy == nil || tracked.Energy.Summary().TotalJ <= 0 {
+		t.Error("energy-tracked system integrated no energy")
+	}
+}
+
 func stepTime(sys *hcapp.System, span hcapp.Time) time.Duration {
 	best := time.Duration(1 << 62)
 	for trial := 0; trial < 5; trial++ {

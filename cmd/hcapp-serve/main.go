@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"hcapp/internal/buildinfo"
 	"hcapp/internal/cluster"
 	"hcapp/internal/server"
 	"hcapp/internal/sim"
@@ -66,7 +67,12 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 2*time.Second, "fleet heartbeat interval (coordinator role)")
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admitted items/sec, 0 = unlimited (coordinator role)")
 	tenantBurst := flag.Int("tenant-burst", 256, "per-tenant token-bucket burst (coordinator role)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hcapp-serve")
+		return
+	}
 
 	drain := drainTimeout
 	if *drainAlias > 0 {

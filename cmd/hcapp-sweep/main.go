@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"hcapp/internal/buildinfo"
 	"hcapp/internal/cluster"
 	"hcapp/internal/config"
 	"hcapp/internal/experiment"
@@ -32,7 +33,12 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulation workers (output is identical at any width)")
 	coordinator := flag.String("coordinator", "", "offload sweep cells to the fleet coordinator at this URL (rendered output is identical)")
 	tenant := flag.String("tenant", "", "fleet tenant id for rate limiting with -coordinator")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hcapp-sweep")
+		return
+	}
 
 	if *workers < 1 {
 		fmt.Fprintf(os.Stderr, "hcapp-sweep: -workers must be >= 1, got %d\n", *workers)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 
+	"hcapp/internal/buildinfo"
 	"hcapp/internal/config"
 	"hcapp/internal/experiment"
 	"hcapp/internal/export"
@@ -22,7 +23,12 @@ func main() {
 	durMS := flag.Float64("dur", 16, "run length, milliseconds")
 	sampleUS := flag.Float64("sample", 20, "sample spacing, microseconds")
 	scheme := flag.String("scheme", "fixed-voltage", "fixed-voltage | hcapp | rapl-like | sw-like")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hcapp-trace")
+		return
+	}
 
 	ev := experiment.NewEvaluator().WithTargetDur(sim.Time(*durMS * float64(sim.Millisecond)))
 	combo, err := experiment.ComboByName(*comboName)
@@ -102,18 +108,40 @@ func voltageTrace(ev *experiment.Evaluator, combo experiment.Combo, kind config.
 	}
 	sys.Engine.RunFor(ev.TargetDur)
 	rec := sys.Engine.Recorder()
-	names := []string{"total_w", "cpu_w", "gpu_w", "sha_w", "rail_v", "vcpu_v", "vgpu_v"}
+	cpuW := rec.ComponentSeries("cpu", sample)
+	gpuW := rec.ComponentSeries("gpu", sample)
+	shaW := rec.ComponentSeries("sha", sample)
+	names := []string{"total_w", "cpu_w", "gpu_w", "sha_w", "rail_v", "vcpu_v", "vgpu_v",
+		"ecpu_j", "egpu_j", "esha_j"}
 	series := [][]trace.Point{
 		rec.Series(sample),
-		rec.ComponentSeries("cpu", sample),
-		rec.ComponentSeries("gpu", sample),
-		rec.ComponentSeries("sha", sample),
+		cpuW,
+		gpuW,
+		shaW,
 		rec.ComponentSeries("voltage:rail", sample),
 		rec.ComponentSeries("voltage:cpu", sample),
 		rec.ComponentSeries("voltage:gpu", sample),
+		cumulativeEnergy(cpuW, sample),
+		cumulativeEnergy(gpuW, sample),
+		cumulativeEnergy(shaW, sample),
 	}
 	fmt.Printf("# combo=%s scheme=%s\n", combo.Name, scheme.Kind)
 	return export.WriteSeriesCSV(os.Stdout, names, series...)
+}
+
+// cumulativeEnergy integrates a sampled per-domain power series into a
+// running joule column (rectangle rule at the sample spacing) — the
+// trace-side counterpart of the internal/energy ledger, so a trace and
+// the ledger's chargeback numbers can be eyeballed against each other.
+func cumulativeEnergy(pts []trace.Point, sample sim.Time) []trace.Point {
+	sec := sim.Seconds(sample)
+	out := make([]trace.Point, len(pts))
+	acc := 0.0
+	for i, p := range pts {
+		acc += p.P * sec
+		out[i] = trace.Point{T: p.T, P: acc}
+	}
+	return out
 }
 
 // traceFor runs one combo under the named scheme and returns its

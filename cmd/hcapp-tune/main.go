@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"hcapp/internal/buildinfo"
 	"hcapp/internal/config"
 	"hcapp/internal/experiment"
 	"hcapp/internal/sim"
@@ -19,7 +20,12 @@ import (
 func main() {
 	mode := flag.String("mode", "probe", "probe | fixsweep | target | pid")
 	dur := flag.Float64("dur", 12, "target duration in ms")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hcapp-tune")
+		return
+	}
 
 	ev := experiment.NewEvaluator().WithTargetDur(sim.Time(*dur * float64(sim.Millisecond)))
 

@@ -10,7 +10,8 @@
 //
 // Experiments: table1 table2 table3 fig1 fig2 fig4 fig5 fig6 fig7 fig8
 // fig9 fig10, plus the extensions and ablations: scaling, policies,
-// centralized, locals, clocking, thermal, adversarial.
+// centralized, locals, clocking, thermal, adversarial, faults,
+// fault-sweep, energy.
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"hcapp/internal/buildinfo"
 	"hcapp/internal/cluster"
 	"hcapp/internal/config"
 	"hcapp/internal/experiment"
@@ -36,7 +38,7 @@ var experimentIDs = []string{
 	"table1", "table2", "table3",
 	"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"scaling", "policies", "centralized", "locals", "clocking", "thermal",
-	"adversarial", "faults", "fault-sweep", "vreff", "retarget", "seeds", "checks",
+	"adversarial", "faults", "fault-sweep", "energy", "vreff", "retarget", "seeds", "checks",
 }
 
 // notInAll lists registry ids excluded from "all": the seed sweep
@@ -96,7 +98,12 @@ func main() {
 	coordinator := flag.String("coordinator", "", "offload simulations to the fleet coordinator at this URL (rendered output is identical)")
 	priority := flag.String("priority", cluster.PriorityBatch, "fleet priority class with -coordinator: interactive or batch")
 	tenant := flag.String("tenant", "", "fleet tenant id for rate limiting with -coordinator")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print(os.Stdout, "hcappsim")
+		return
+	}
 
 	ids, err := parseExperimentIDs(*exp)
 	if err != nil {
@@ -261,6 +268,16 @@ func run(ev *experiment.Evaluator, runner *experiment.Runner, fleet *cluster.Cli
 		sweep.Publish(fault.NewMetrics(reg))
 		fmt.Println("\nResilience counters (Prometheus text):")
 		fmt.Print(reg.Text())
+	case "energy":
+		combo, err := experiment.ComboByName(comboName)
+		if err != nil {
+			return err
+		}
+		rep, err := ev.RunEnergyAttribution(combo, config.PackagePinLimit())
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderEnergyAttribution(rep))
 	case "vreff":
 		return render(ev.AblationVREfficiency())
 	case "retarget":

@@ -34,6 +34,7 @@ import (
 	"io"
 
 	"hcapp/internal/config"
+	"hcapp/internal/energy"
 	"hcapp/internal/experiment"
 	"hcapp/internal/psn"
 	"hcapp/internal/sched"
@@ -284,3 +285,23 @@ type (
 	// RetargetResult validates the §5.2 dynamic power-limit change.
 	RetargetResult = experiment.RetargetResult
 )
+
+// Energy attribution and chargeback (internal/energy, docs/ENERGY.md).
+type (
+	// EnergyLedger integrates per-unit attributed and ground-truth
+	// energy off the StepObserver hook (BuildOptions.TrackEnergy).
+	EnergyLedger = energy.Ledger
+	// EnergySummary is a ledger snapshot: per-component attributed and
+	// true joules plus per-domain totals and uncore.
+	EnergySummary = energy.Summary
+	// EnergyReport is the attribution-accuracy experiment outcome.
+	EnergyReport = experiment.EnergyReport
+	// DomainAccuracy grades share-based attribution for one domain.
+	DomainAccuracy = energy.DomainAccuracy
+)
+
+// RenderEnergyAttribution formats the attribution-accuracy report
+// (hcappsim -experiment energy).
+func RenderEnergyAttribution(r *EnergyReport) string {
+	return experiment.RenderEnergyAttribution(r)
+}

@@ -34,6 +34,7 @@ type Accel struct {
 	doneWork  float64
 	doneAt    sim.Time
 	lastPower float64
+	lastAct   float64 // 1 while hashing, 0 power-gated (energy meter)
 }
 
 // Options selects the accelerator's work pool and local controller.
@@ -112,6 +113,16 @@ func (a *Accel) DoneWork() float64 { return a.doneWork }
 // LastPower returns the power drawn on the most recent step.
 func (a *Accel) LastPower() float64 { return a.lastPower }
 
+// Units implements energy.UnitMeter: the array is metered as one unit.
+func (a *Accel) Units() int { return 1 }
+
+// ReadUnitSamples implements energy.UnitMeter. The accelerator's whole
+// draw is directly measurable, so attribution against it is exact.
+func (a *Accel) ReadUnitSamples(act, watts []float64) {
+	act[0] = a.lastAct
+	watts[0] = a.lastPower
+}
+
 // ThroughputAt exposes the LUT (GB/s at voltage v) for sizing work pools.
 func (a *Accel) ThroughputAt(v float64) float64 {
 	v = a.effectiveV(v)
@@ -135,6 +146,7 @@ func (a *Accel) Step(now sim.Time, dt sim.Time, vdd float64) sim.StepResult {
 		// Idle, or under the undervoltage-protection threshold: the
 		// array is power-gated.
 		a.lastPower = a.idlePower
+		a.lastAct = 0
 		return sim.StepResult{Power: a.idlePower}
 	}
 	p := a.powerLUT.At(v)
@@ -146,6 +158,7 @@ func (a *Accel) Step(now sim.Time, dt sim.Time, vdd float64) sim.StepResult {
 		}
 	}
 	a.lastPower = p
+	a.lastAct = 1
 	return sim.StepResult{Power: p, Work: work}
 }
 
@@ -160,5 +173,6 @@ func (a *Accel) Reset() {
 	a.doneWork = 0
 	a.doneAt = -1
 	a.lastPower = 0
+	a.lastAct = 0
 	a.local.Reset()
 }

@@ -1,0 +1,56 @@
+// Package buildinfo resolves the running binary's version from the
+// embedded Go build info — one helper shared by every cmd/ binary's
+// -version flag and the hcapp_build_info metric, so all surfaces report
+// the same string.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the main module's version; for builds from a checkout
+// (version "(devel)") it falls back to the VCS revision, with a "-dirty"
+// suffix when the working tree was modified, and to "devel" when no
+// build info is embedded at all (e.g. test binaries).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	return versionOf(bi)
+}
+
+// versionOf is Version over explicit build info (split out for tests —
+// debug.ReadBuildInfo is not injectable).
+func versionOf(bi *debug.BuildInfo) string {
+	v := bi.Main.Version
+	if v != "" && v != "(devel)" {
+		return v
+	}
+	rev, dirty := "", ""
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}
+
+// Print writes the canonical "-version" line for a binary.
+func Print(w io.Writer, binary string) {
+	fmt.Fprintf(w, "%s version %s (%s)\n", binary, Version(), runtime.Version())
+}

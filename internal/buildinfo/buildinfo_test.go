@@ -1,0 +1,67 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestVersionOf(t *testing.T) {
+	cases := []struct {
+		name string
+		bi   debug.BuildInfo
+		want string
+	}{
+		{
+			name: "tagged release",
+			bi:   debug.BuildInfo{Main: debug.Module{Version: "v1.2.3"}},
+			want: "v1.2.3",
+		},
+		{
+			name: "devel with revision",
+			bi: debug.BuildInfo{
+				Main: debug.Module{Version: "(devel)"},
+				Settings: []debug.BuildSetting{
+					{Key: "vcs.revision", Value: "abcdef0123456789abcdef"},
+				},
+			},
+			want: "abcdef012345",
+		},
+		{
+			name: "devel dirty tree",
+			bi: debug.BuildInfo{
+				Main: debug.Module{Version: "(devel)"},
+				Settings: []debug.BuildSetting{
+					{Key: "vcs.revision", Value: "abc123"},
+					{Key: "vcs.modified", Value: "true"},
+				},
+			},
+			want: "abc123-dirty",
+		},
+		{
+			name: "nothing embedded",
+			bi:   debug.BuildInfo{},
+			want: "devel",
+		},
+	}
+	for _, tc := range cases {
+		if got := versionOf(&tc.bi); got != tc.want {
+			t.Errorf("%s: versionOf = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestVersionNeverEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version returned an empty string")
+	}
+}
+
+func TestPrintShape(t *testing.T) {
+	var sb strings.Builder
+	Print(&sb, "hcappsim")
+	out := sb.String()
+	if !strings.HasPrefix(out, "hcappsim version ") || !strings.HasSuffix(out, ")\n") {
+		t.Fatalf("unexpected -version line: %q", out)
+	}
+}

@@ -75,6 +75,11 @@ type unit struct {
 	nextEpoch sim.Time
 	lastIPC   float64
 	lastAct   float64
+	// Per-step meter samples (activity and power drawn on the most
+	// recent step), recorded only when the unit meter is enabled — the
+	// energy ledger's ground-truth feed.
+	stepAct   float64
+	stepPower float64
 }
 
 // Chiplet is a multi-unit component implementing sim.Component.
@@ -85,6 +90,7 @@ type Chiplet struct {
 	doneAt    sim.Time // completion timestamp; -1 while running
 	lastPower float64
 	therm     *thermal.Node // nil when unsensed
+	meterOn   bool
 }
 
 // New builds a chiplet. Local controllers may be nil (no level-3
@@ -193,6 +199,23 @@ func (c *Chiplet) MeanRatio() float64 {
 // LastPower returns the power drawn on the most recent step.
 func (c *Chiplet) LastPower() float64 { return c.lastPower }
 
+// EnableUnitMeter turns on per-unit step sampling (a couple of stores
+// per unit per step — off by default so the hot path stays lean). The
+// samples feed energy.UnitMeter, which the chiplet then satisfies.
+func (c *Chiplet) EnableUnitMeter() { c.meterOn = true }
+
+// ReadUnitSamples copies each unit's most recent step activity and power
+// into the destination slices (len >= Units()). Zeros until the meter is
+// enabled and a step has run. Unit power excludes the shared uncore,
+// which belongs to no single unit — that gap is exactly the attribution
+// error the energy subsystem measures.
+func (c *Chiplet) ReadUnitSamples(act, watts []float64) {
+	for i, u := range c.units {
+		act[i] = u.stepAct
+		watts[i] = u.stepPower
+	}
+}
+
 // Step implements sim.Component.
 func (c *Chiplet) Step(now sim.Time, dt sim.Time, vdd float64) sim.StepResult {
 	dtSec := sim.Seconds(dt)
@@ -236,8 +259,13 @@ func (c *Chiplet) Step(now sim.Time, dt sim.Time, vdd float64) sim.StepResult {
 			u.accSteps++
 		}
 
-		totalPower += m.Dynamic(vlocal, f, act) + m.Leakage(vlocal)
+		up := m.Dynamic(vlocal, f, act) + m.Leakage(vlocal)
+		totalPower += up
 		actSum += act
+		if c.meterOn {
+			u.stepAct = act
+			u.stepPower = up
+		}
 
 		// Local epoch: feed measured metrics to the level-3 controller.
 		if u.spec.Local != nil && now >= u.nextEpoch {
@@ -324,6 +352,8 @@ func (c *Chiplet) Reset() {
 		u.nextEpoch = 0
 		u.lastIPC = 0
 		u.lastAct = 0
+		u.stepAct = 0
+		u.stepPower = 0
 	}
 }
 

@@ -43,10 +43,13 @@ func testItems(t *testing.T, n int) []Item {
 }
 
 // localResults simulates the items on a plain local evaluator — the
-// reference the fleet must match exactly.
+// reference the fleet must match exactly. Workers always track the
+// energy ledger, so the reference does too: the comparisons cover the
+// wire-carried energy summary as well.
 func localResults(t *testing.T, p Params, items []Item) []Result {
 	t.Helper()
 	ev := p.evaluator()
+	ev.TrackEnergy = true
 	out := make([]Result, len(items))
 	for i, it := range items {
 		spec, err := it.Spec.RunSpec()
@@ -383,7 +386,9 @@ func TestRemoteRunnerAndScalingCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := p.evaluator().Run(spec)
+	local := p.evaluator()
+	local.TrackEnergy = true // workers always track; match the reference
+	want, err := local.Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}

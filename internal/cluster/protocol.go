@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"hcapp/internal/config"
+	"hcapp/internal/energy"
 	"hcapp/internal/experiment"
 	"hcapp/internal/noc"
 	"hcapp/internal/sim"
@@ -160,6 +161,11 @@ type Result struct {
 	Completed      bool                `json:"completed"`
 	DurationNS     sim.Time            `json:"duration_ns"`
 	ControlCycles  int64               `json:"control_cycles"`
+	// Energy is the worker's attribution ledger summary. Workers always
+	// track energy (the ledger is passive, so the metrics above are
+	// unaffected), which keeps every fleet-cached result usable for
+	// chargeback no matter which client asked first.
+	Energy *energy.Summary `json:"energy,omitempty"`
 }
 
 // ResultOf projects a RunResult onto the wire.
@@ -175,6 +181,7 @@ func ResultOf(r experiment.RunResult) Result {
 		Completed:      r.Completed,
 		DurationNS:     r.Duration,
 		ControlCycles:  r.ControlCycles,
+		Energy:         r.Energy,
 	}
 }
 
@@ -192,6 +199,7 @@ func (r Result) RunResult(spec experiment.RunSpec) experiment.RunResult {
 		Completed:      r.Completed,
 		Duration:       r.DurationNS,
 		ControlCycles:  r.ControlCycles,
+		Energy:         r.Energy,
 	}
 }
 

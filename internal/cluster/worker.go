@@ -222,6 +222,11 @@ func (w *Worker) RunSlice(ctx context.Context, params Params, items []Item) (*Ru
 	// right here, and nesting RunSpecs batches inside pool tasks would
 	// deadlock the shared runner.
 	ev := params.evaluator()
+	// Workers always carry the energy ledger: it is passive (identical
+	// simulated metrics), and it makes every fleet result — and every
+	// fleet-cache hit — usable for coordinator-side chargeback no matter
+	// which client's request populated the cache.
+	ev.TrackEnergy = true
 	err := w.runner.Tasks(ctx, len(items), func(ctx context.Context, i int) error {
 		resp.Results[i] = w.runItem(ctx, ev, params, items[i], i)
 		return nil

@@ -1,0 +1,272 @@
+package energy
+
+import (
+	"sort"
+	"sync"
+
+	"hcapp/internal/telemetry"
+)
+
+// Tombstone label values: evicted series fold into these aggregates so
+// the family's summed value never decreases and scrape cardinality stays
+// bounded no matter how many distinct benchmarks or tenants flow through.
+const (
+	TombstoneBenchmark = "other"
+	TombstoneTenant    = "other"
+)
+
+// Default retention caps. Component cardinality is bounded by the
+// package topology (~25 units), so the series cap really bounds the
+// benchmark dimension; the tenant cap bounds the chargeback table.
+const (
+	DefaultMaxSeries  = 256
+	DefaultMaxTenants = 64
+)
+
+// CollectorConfig sizes the retention policy. Zero fields take the
+// defaults above.
+type CollectorConfig struct {
+	MaxSeries  int
+	MaxTenants int
+}
+
+type seriesKey struct{ component, benchmark string }
+
+type seriesState struct {
+	joules  float64
+	touched uint64 // record clock of last update (LRU eviction order)
+}
+
+type tenantState struct {
+	joules  float64
+	jobs    int64
+	domains map[string]float64
+	touched uint64
+}
+
+// Collector rolls ledger summaries into Prometheus counters
+// (hcapp_energy_joules_total{component,benchmark} and
+// hcapp_tenant_energy_joules_total{tenant}) and keeps the per-tenant
+// chargeback table served by GET /v1/energy.
+//
+// Retention: when a Record pushes the live set past the cap, the
+// least-recently-recorded series is folded into its tombstone — the
+// tombstone is incremented BEFORE the victim series is deleted, so a
+// concurrent scrape can see a joule twice during the swap but never not
+// at all: the family's summed value is monotonic. Tombstones themselves
+// are never evicted.
+type Collector struct {
+	mu             sync.Mutex
+	cfg            CollectorConfig
+	components     *telemetry.CounterVec
+	tenants        *telemetry.CounterVec
+	series         map[seriesKey]*seriesState
+	tenantTab      map[string]*tenantState
+	clock          uint64
+	totalJ         float64
+	jobs           int64
+	evictedSeries  int64
+	evictedTenants int64
+}
+
+// NewCollector registers the energy counter families on reg and returns
+// a collector enforcing the configured retention caps.
+func NewCollector(reg *telemetry.Registry, cfg CollectorConfig) *Collector {
+	if cfg.MaxSeries <= 0 {
+		cfg.MaxSeries = DefaultMaxSeries
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = DefaultMaxTenants
+	}
+	return &Collector{
+		cfg: cfg,
+		components: reg.Counter("hcapp_energy_joules_total",
+			"Attributed energy per component and benchmark; evicted series fold into benchmark=\"other\".",
+			"component", "benchmark"),
+		tenants: reg.Counter("hcapp_tenant_energy_joules_total",
+			"Total package energy charged per tenant; evicted tenants fold into tenant=\"other\".",
+			"tenant"),
+		series:    make(map[seriesKey]*seriesState),
+		tenantTab: make(map[string]*tenantState),
+	}
+}
+
+// Record charges a run's energy summary to a tenant. An empty tenant is
+// charged to "anon". Safe for concurrent use.
+func (c *Collector) Record(tenant string, s *Summary) {
+	if s == nil {
+		return
+	}
+	if tenant == "" {
+		tenant = "anon"
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	for _, ce := range s.Components {
+		k := seriesKey{ce.Component, ce.Benchmark}
+		st := c.series[k]
+		if st == nil {
+			st = &seriesState{}
+			c.series[k] = st
+		}
+		st.joules += ce.AttributedJ
+		st.touched = c.clock
+		if ce.AttributedJ > 0 {
+			c.components.With(k.component, k.benchmark).Add(ce.AttributedJ)
+		}
+	}
+	ts := c.tenantTab[tenant]
+	if ts == nil {
+		ts = &tenantState{domains: make(map[string]float64)}
+		c.tenantTab[tenant] = ts
+	}
+	ts.joules += s.TotalJ
+	ts.jobs++
+	ts.touched = c.clock
+	for _, d := range s.Domains {
+		ts.domains[d.Domain] += d.EnergyJ
+	}
+	if s.TotalJ > 0 {
+		c.tenants.With(tenant).Add(s.TotalJ)
+	}
+	c.totalJ += s.TotalJ
+	c.jobs++
+	c.evictSeriesLocked()
+	c.evictTenantsLocked()
+}
+
+func (c *Collector) evictSeriesLocked() {
+	for len(c.series) > c.cfg.MaxSeries {
+		var vk seriesKey
+		var vs *seriesState
+		for k, st := range c.series {
+			if k.benchmark == TombstoneBenchmark {
+				continue // tombstones are retention-exempt
+			}
+			if vs == nil || st.touched < vs.touched ||
+				(st.touched == vs.touched && lessSeriesKey(k, vk)) {
+				vk, vs = k, st
+			}
+		}
+		if vs == nil {
+			return // only tombstones left; bounded by component count
+		}
+		tk := seriesKey{vk.component, TombstoneBenchmark}
+		ts := c.series[tk]
+		if ts == nil {
+			ts = &seriesState{}
+			c.series[tk] = ts
+		}
+		ts.joules += vs.joules
+		if vs.touched > ts.touched {
+			ts.touched = vs.touched
+		}
+		// Tombstone first, then delete: a scrape between the two counts
+		// the evicted joules twice, never zero times — the summed family
+		// value stays monotonic across eviction.
+		if vs.joules > 0 {
+			c.components.With(tk.component, tk.benchmark).Add(vs.joules)
+		}
+		c.components.Delete(vk.component, vk.benchmark)
+		delete(c.series, vk)
+		c.evictedSeries++
+	}
+}
+
+func (c *Collector) evictTenantsLocked() {
+	for len(c.tenantTab) > c.cfg.MaxTenants {
+		var vk string
+		var vs *tenantState
+		for k, st := range c.tenantTab {
+			if k == TombstoneTenant {
+				continue
+			}
+			if vs == nil || st.touched < vs.touched ||
+				(st.touched == vs.touched && k < vk) {
+				vk, vs = k, st
+			}
+		}
+		if vs == nil {
+			return
+		}
+		ts := c.tenantTab[TombstoneTenant]
+		if ts == nil {
+			ts = &tenantState{domains: make(map[string]float64)}
+			c.tenantTab[TombstoneTenant] = ts
+		}
+		ts.joules += vs.joules
+		ts.jobs += vs.jobs
+		for d, j := range vs.domains {
+			ts.domains[d] += j
+		}
+		if vs.touched > ts.touched {
+			ts.touched = vs.touched
+		}
+		if vs.joules > 0 {
+			c.tenants.With(TombstoneTenant).Add(vs.joules)
+		}
+		c.tenants.Delete(vk)
+		delete(c.tenantTab, vk)
+		c.evictedTenants++
+	}
+}
+
+func lessSeriesKey(a, b seriesKey) bool {
+	if a.component != b.component {
+		return a.component < b.component
+	}
+	return a.benchmark < b.benchmark
+}
+
+// TenantEnergy is one tenant's chargeback row.
+type TenantEnergy struct {
+	Tenant string `json:"tenant"`
+	// Joules is the total package energy (all domains plus VR loss)
+	// consumed by the tenant's completed jobs.
+	Joules float64 `json:"joules"`
+	Jobs   int64   `json:"jobs"`
+	// Domains breaks the charge down per power domain.
+	Domains map[string]float64 `json:"domains,omitempty"`
+}
+
+// ChargebackReport is the GET /v1/energy payload. Tenants are sorted by
+// name so the rendering is deterministic.
+type ChargebackReport struct {
+	TotalJoules    float64        `json:"total_joules"`
+	Jobs           int64          `json:"jobs"`
+	Tenants        []TenantEnergy `json:"tenants"`
+	SeriesLive     int            `json:"series_live"`
+	SeriesEvicted  int64          `json:"series_evicted"`
+	TenantsEvicted int64          `json:"tenants_evicted"`
+}
+
+// Chargeback snapshots the per-tenant accounting.
+func (c *Collector) Chargeback() ChargebackReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := ChargebackReport{
+		TotalJoules:    c.totalJ,
+		Jobs:           c.jobs,
+		Tenants:        make([]TenantEnergy, 0, len(c.tenantTab)),
+		SeriesLive:     len(c.series),
+		SeriesEvicted:  c.evictedSeries,
+		TenantsEvicted: c.evictedTenants,
+	}
+	for name, ts := range c.tenantTab {
+		doms := make(map[string]float64, len(ts.domains))
+		for d, j := range ts.domains {
+			doms[d] = j
+		}
+		rep.Tenants = append(rep.Tenants, TenantEnergy{
+			Tenant:  name,
+			Joules:  ts.joules,
+			Jobs:    ts.jobs,
+			Domains: doms,
+		})
+	}
+	sort.Slice(rep.Tenants, func(i, j int) bool {
+		return rep.Tenants[i].Tenant < rep.Tenants[j].Tenant
+	})
+	return rep
+}

@@ -1,0 +1,211 @@
+package energy
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"hcapp/internal/telemetry"
+)
+
+// summaryFor builds a minimal one-component summary charging j joules to
+// the given component/benchmark series.
+func summaryFor(component, benchmark string, j float64) *Summary {
+	return &Summary{
+		Components: []ComponentEnergy{{
+			Domain: "cpu", Component: component, Benchmark: benchmark,
+			AttributedJ: j, TrueJ: j,
+		}},
+		Domains: []DomainEnergy{{Domain: "cpu", EnergyJ: j, Units: 1}},
+		TotalJ:  j,
+		Steps:   1,
+	}
+}
+
+// familySum parses the rendered exposition text and sums every sample of
+// the named counter family — the scrape-side view of the family total.
+func familySum(t *testing.T, reg *telemetry.Registry, family string) float64 {
+	t.Helper()
+	sum := 0.0
+	sc := bufio.NewScanner(strings.NewReader(reg.Text()))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, family+"{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+func countSeries(t *testing.T, reg *telemetry.Registry, family string) int {
+	t.Helper()
+	n := 0
+	sc := bufio.NewScanner(strings.NewReader(reg.Text()))
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), family+"{") {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCollectorEvictionKeepsFamilyMonotonic(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCollector(reg, CollectorConfig{MaxSeries: 3, MaxTenants: 2})
+
+	const family = "hcapp_energy_joules_total"
+	charged := 0.0
+	prevSum := 0.0
+	for i := 0; i < 20; i++ {
+		j := 1.0 + float64(i)*0.25
+		c.Record("t", summaryFor("cpu/core0", fmt.Sprintf("bench-%02d", i), j))
+		charged += j
+
+		sum := familySum(t, reg, family)
+		if sum < prevSum {
+			t.Fatalf("family sum dipped after record %d: %g -> %g", i, prevSum, sum)
+		}
+		prevSum = sum
+		// Between Records the tombstone has fully absorbed each victim, so
+		// the scrape total equals everything ever charged — no joule lost.
+		if math.Abs(sum-charged) > 1e-9 {
+			t.Fatalf("family sum %g != charged %g after record %d", sum, charged, i)
+		}
+		if n := countSeries(t, reg, family); n > 3 {
+			t.Fatalf("live series %d exceeds cap 3 after record %d", n, i)
+		}
+	}
+
+	// The tombstone aggregate must exist and hold the bulk of the energy.
+	if !strings.Contains(reg.Text(), `benchmark="other"`) {
+		t.Fatal("expected a benchmark=\"other\" tombstone series after eviction")
+	}
+	rep := c.Chargeback()
+	if rep.SeriesEvicted == 0 {
+		t.Fatal("expected evictions with MaxSeries=3")
+	}
+	if rep.SeriesLive > 3 {
+		t.Fatalf("SeriesLive = %d, want <= 3", rep.SeriesLive)
+	}
+}
+
+func TestCollectorTombstoneExemptFromEviction(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	// Cap of 1 with one component: after the first eviction only the
+	// tombstone fits, and the loop must terminate rather than evict it.
+	c := NewCollector(reg, CollectorConfig{MaxSeries: 1, MaxTenants: 1})
+	for i := 0; i < 5; i++ {
+		c.Record("t", summaryFor("cpu/core0", fmt.Sprintf("b%d", i), 1))
+	}
+	if got := familySum(t, reg, "hcapp_energy_joules_total"); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("family sum = %g, want 5", got)
+	}
+	if !strings.Contains(reg.Text(), `benchmark="other"`) {
+		t.Fatal("tombstone series missing")
+	}
+}
+
+func TestCollectorTenantEviction(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCollector(reg, CollectorConfig{MaxSeries: 16, MaxTenants: 2})
+	for i := 0; i < 6; i++ {
+		c.Record(fmt.Sprintf("tenant-%d", i), summaryFor("cpu/core0", "b", 2))
+	}
+
+	rep := c.Chargeback()
+	if len(rep.Tenants) > 2 {
+		t.Fatalf("tenant table %d rows, want <= 2", len(rep.Tenants))
+	}
+	if rep.TenantsEvicted == 0 {
+		t.Fatal("expected tenant evictions")
+	}
+	// Total charge survives eviction: the tombstone row absorbs victims.
+	sum := 0.0
+	var other *TenantEnergy
+	for i := range rep.Tenants {
+		sum += rep.Tenants[i].Joules
+		if rep.Tenants[i].Tenant == TombstoneTenant {
+			other = &rep.Tenants[i]
+		}
+	}
+	if math.Abs(sum-12) > 1e-12 {
+		t.Fatalf("tenant joules sum = %g, want 12", sum)
+	}
+	if other == nil {
+		t.Fatal("expected a tenant=\"other\" tombstone row")
+	}
+	if other.Domains["cpu"] <= 0 {
+		t.Fatalf("tombstone domain rollup = %v", other.Domains)
+	}
+	if math.Abs(rep.TotalJoules-12) > 1e-12 {
+		t.Fatalf("TotalJoules = %g, want 12", rep.TotalJoules)
+	}
+	// Prometheus side folds the same way.
+	if got := familySum(t, reg, "hcapp_tenant_energy_joules_total"); math.Abs(got-12) > 1e-12 {
+		t.Fatalf("tenant family sum = %g, want 12", got)
+	}
+}
+
+func TestCollectorAnonTenant(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCollector(reg, CollectorConfig{})
+	c.Record("", summaryFor("cpu/core0", "b", 1))
+	rep := c.Chargeback()
+	if len(rep.Tenants) != 1 || rep.Tenants[0].Tenant != "anon" {
+		t.Fatalf("empty tenant not folded to anon: %+v", rep.Tenants)
+	}
+}
+
+func TestCollectorNilSummary(t *testing.T) {
+	c := NewCollector(telemetry.NewRegistry(), CollectorConfig{})
+	c.Record("t", nil) // must not panic or charge anything
+	if rep := c.Chargeback(); rep.Jobs != 0 {
+		t.Fatalf("nil summary charged: %+v", rep)
+	}
+}
+
+func TestCollectorConcurrentRecord(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCollector(reg, CollectorConfig{MaxSeries: 4, MaxTenants: 3})
+
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tenant := fmt.Sprintf("tenant-%d", (w+i)%5)
+				bench := fmt.Sprintf("bench-%d", i%9)
+				c.Record(tenant, summaryFor("cpu/core0", bench, 0.5))
+				if i%10 == 0 {
+					_ = c.Chargeback()
+					_ = reg.Text()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := float64(workers*perWorker) * 0.5
+	rep := c.Chargeback()
+	if math.Abs(rep.TotalJoules-want) > 1e-9 {
+		t.Fatalf("TotalJoules = %g, want %g", rep.TotalJoules, want)
+	}
+	if got := familySum(t, reg, "hcapp_energy_joules_total"); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("component family sum = %g, want %g", got, want)
+	}
+	if got := familySum(t, reg, "hcapp_tenant_energy_joules_total"); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("tenant family sum = %g, want %g", got, want)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"hcapp/internal/config"
 	"hcapp/internal/core"
 	"hcapp/internal/cpusim"
+	"hcapp/internal/energy"
 	"hcapp/internal/fault"
 	"hcapp/internal/gpusim"
 	"hcapp/internal/pid"
@@ -99,6 +100,13 @@ type BuildOptions struct {
 	// Observer receives live per-step telemetry from the engine (the
 	// hcapp-serve metrics/trace hook); nil costs nothing.
 	Observer sched.StepObserver
+	// TrackEnergy attaches an energy ledger (internal/energy) fed from
+	// the step-observer hook: share-based attributed plus ground-truth
+	// per-unit energy accounting, exposed as System.Energy. Enables the
+	// chiplets' per-unit meters — a few stores per unit per step, <5%
+	// bench-guarded, and passive with respect to simulation state, so
+	// results stay bit-identical with it on or off.
+	TrackEnergy bool
 	// ForceLocalControl enables level-3 controllers even under a
 	// fixed-voltage rail (used by the centralized-allocator comparison,
 	// which pins the rail but keeps per-unit control).
@@ -136,6 +144,8 @@ type System struct {
 	CPU    *chiplet.Chiplet
 	GPU    *chiplet.Chiplet
 	Accel  *accelsim.Accel
+	// Energy is the attribution ledger; non-nil iff Opts.TrackEnergy.
+	Energy *energy.Ledger
 	Cfg    config.SystemConfig
 	Opts   BuildOptions
 }
@@ -270,6 +280,22 @@ func Build(cfg config.SystemConfig, combo Combo, opts BuildOptions) (*System, er
 			return nil, err
 		}
 	}
+	obs := opts.Observer
+	var ledger *energy.Ledger
+	if opts.TrackEnergy {
+		cpu.EnableUnitMeter()
+		gpu.EnableUnitMeter()
+		// Slot order here must mirror the sched.Config Slots below —
+		// ObserveStep samples are index-aligned. Mem has no meter: its
+		// constant draw is attributed to the static "benchmark" exactly.
+		ledger = energy.NewLedger([]energy.SlotConfig{
+			{Domain: "cpu", Benchmark: combo.CPU.Name, UnitLabel: "core", Meter: cpu},
+			{Domain: "gpu", Benchmark: combo.GPU.Name, UnitLabel: "sm", Meter: gpu},
+			{Domain: "sha", Benchmark: "sha256", Meter: acc},
+			{Domain: "mem", Benchmark: "static"},
+		})
+		obs = sched.Observers(ledger, opts.Observer)
+	}
 	eng, err := sched.New(sched.Config{
 		DT:       cfg.TimeStep,
 		GlobalVR: gvr,
@@ -286,14 +312,14 @@ func Build(cfg config.SystemConfig, combo Combo, opts BuildOptions) (*System, er
 		Recorder:        rec,
 		TrackComponents: opts.TrackComponents,
 		Supervisor:      opts.Supervisor,
-		Observer:        opts.Observer,
+		Observer:        obs,
 		Injector:        opts.Injector,
 		Clamp:           clamp,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &System{Engine: eng, CPU: cpu, GPU: gpu, Accel: acc, Cfg: cfg, Opts: opts}, nil
+	return &System{Engine: eng, CPU: cpu, GPU: gpu, Accel: acc, Energy: ledger, Cfg: cfg, Opts: opts}, nil
 }
 
 // Sizing holds the work pools that make the fixed-voltage baseline run

@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"testing"
+
+	"hcapp/internal/config"
+	"hcapp/internal/sim"
+)
+
+func runEnergyReport(t *testing.T, workers int) *EnergyReport {
+	t.Helper()
+	ev := NewEvaluator().WithTargetDur(1 * sim.Millisecond)
+	if workers > 1 {
+		ev = ev.WithRunner(NewRunner(workers))
+	}
+	rep, err := ev.RunEnergyAttribution(mustCombo2(t, "Mid-Mid"), config.PackagePinLimit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestEnergyAttributionConservation is the ISSUE's conservation
+// criterion: on every suite run and every fault run, summed attributed
+// joules per chiplet must match the ground-truth integrated chiplet
+// energy within 1e-9 relative error.
+func TestEnergyAttributionConservation(t *testing.T) {
+	rep := runEnergyReport(t, 1)
+	if len(rep.Suite) != len(Suite()) {
+		t.Fatalf("suite rows = %d, want %d", len(rep.Suite), len(Suite()))
+	}
+	if len(rep.Faults) == 0 {
+		t.Fatal("no fault rows")
+	}
+	check := func(phase string, rows []EnergyScenarioRow) {
+		for _, row := range rows {
+			if row.ConservationErr > 1e-9 {
+				t.Errorf("%s %s: conservation error %g exceeds 1e-9",
+					phase, row.Name, row.ConservationErr)
+			}
+			if row.TotalJ <= 0 {
+				t.Errorf("%s %s: no energy integrated (TotalJ=%g)", phase, row.Name, row.TotalJ)
+			}
+			if row.Steps <= 0 {
+				t.Errorf("%s %s: ledger saw no steps", phase, row.Name)
+			}
+			for _, d := range row.Domains {
+				if d.EnergyJ < 0 || d.UncoreFrac < 0 || d.UncoreFrac > 1 {
+					t.Errorf("%s %s: implausible domain accuracy %+v", phase, row.Name, d)
+				}
+			}
+		}
+	}
+	check("suite", rep.Suite)
+	check("fault", rep.Faults)
+}
+
+// TestEnergyAttributionDeterministicAcrossWidths is the ISSUE's
+// determinism criterion: the rendered report must be byte-identical at
+// any runner width.
+func TestEnergyAttributionDeterministicAcrossWidths(t *testing.T) {
+	seq := RenderEnergyAttribution(runEnergyReport(t, 1))
+	par := RenderEnergyAttribution(runEnergyReport(t, 4))
+	if seq != par {
+		t.Fatalf("energy report differs between 1 and 4 workers:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+	if seq == "" {
+		t.Fatal("empty report")
+	}
+}
+
+// TestRunResultEnergyGating checks that the ledger only rides along when
+// asked for, and that the cache keeps energy-tracking runs in their own
+// namespace.
+func TestRunResultEnergyGating(t *testing.T) {
+	combo := mustCombo2(t, "Mid-Mid")
+	limit := config.PackagePinLimit()
+	spec := RunSpec{Combo: combo, Scheme: mustScheme(t, config.HCAPP), Limit: limit}
+
+	ev := NewEvaluator().WithTargetDur(1 * sim.Millisecond)
+	plain, err := ev.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Energy != nil {
+		t.Fatal("Energy present without TrackEnergy")
+	}
+
+	ev.TrackEnergy = true
+	tracked, err := ev.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracked.Energy == nil {
+		t.Fatal("Energy missing with TrackEnergy — cache namespace collision?")
+	}
+	if tracked.AvgPower != plain.AvgPower || tracked.MaxWindowPower != plain.MaxWindowPower {
+		t.Fatalf("attaching the ledger perturbed the run: avg %g vs %g, max %g vs %g",
+			tracked.AvgPower, plain.AvgPower, tracked.MaxWindowPower, plain.MaxWindowPower)
+	}
+	// Cached re-run returns the summary too.
+	again, err := ev.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Energy == nil {
+		t.Fatal("cached tracked run lost its energy summary")
+	}
+}
+
+func mustScheme(t *testing.T, kind config.SchemeKind) config.Scheme {
+	t.Helper()
+	s, err := config.SchemeByKind(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

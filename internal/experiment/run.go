@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"hcapp/internal/config"
+	"hcapp/internal/energy"
 	"hcapp/internal/sched"
 	"hcapp/internal/sim"
 	"hcapp/internal/stats"
@@ -89,6 +90,9 @@ type RunResult struct {
 	Duration sim.Time
 	// ControlCycles counts global control actions.
 	ControlCycles int64
+	// Energy is the run's attribution ledger summary; non-nil only when
+	// the evaluator ran with TrackEnergy (or a remote worker did).
+	Energy *energy.Summary
 }
 
 // finished reports whether the named component genuinely completed.
@@ -194,6 +198,13 @@ type Evaluator struct {
 	// single-flight still apply, so a suite driver deduplicates before
 	// anything crosses the network.
 	Remote RemoteRunner
+	// TrackEnergy attaches an energy ledger to every uncached local run
+	// and copies its summary into RunResult.Energy. Folded into the
+	// cache key, so toggling it never serves a result missing (or
+	// needlessly carrying) energy accounting. Fleet workers always track
+	// energy — the ledger is passive, so the simulated metrics are
+	// identical either way.
+	TrackEnergy bool
 
 	// runner, when non-nil, fans RunSpecs batches across a worker pool.
 	runner *Runner
@@ -277,8 +288,12 @@ func (ev *Evaluator) ensureMapsLocked() {
 // With*-style reconfiguration and concurrent sharing safe by
 // construction.
 func (ev *Evaluator) runKey(spec RunSpec) string {
-	return fmt.Sprintf("seed=%d|dur=%d|maxf=%g|fv=%g|%s",
+	key := fmt.Sprintf("seed=%d|dur=%d|maxf=%g|fv=%g|%s",
 		ev.Cfg.Seed, ev.TargetDur, ev.MaxDurFactor, ev.FixedV, spec.key())
+	if ev.TrackEnergy {
+		key += "|energy=1"
+	}
+	return key
 }
 
 // CacheKey exposes the result-cache key for spec under the evaluator's
@@ -418,6 +433,7 @@ func (ev *Evaluator) runUncached(ctx context.Context, spec RunSpec, key string) 
 		AdversarialAccel: spec.AdversarialAccel,
 		Supervisor:       sup,
 		Observer:         ev.Observer,
+		TrackEnergy:      ev.TrackEnergy,
 	}
 	if spec.Scheme.Kind != config.FixedVoltage {
 		opts.TargetPower = TargetPowerFor(spec.Limit)
@@ -439,7 +455,11 @@ func (ev *Evaluator) runUncached(ctx context.Context, spec RunSpec, key string) 
 	if err := ctx.Err(); err != nil {
 		return RunResult{}, err
 	}
-	return newRunResult(spec, sys.Engine.Recorder(), res), nil
+	out := newRunResult(spec, sys.Engine.Recorder(), res)
+	if sys.Energy != nil {
+		out.Energy = sys.Energy.Summary()
+	}
+	return out, nil
 }
 
 // RunSpecs executes a batch of specs — across the evaluator's runner

@@ -67,6 +67,37 @@ type StepObserver interface {
 	ObserveStep(now sim.Time, totalPower float64, domains []DomainSample)
 }
 
+// multiObserver fans one step out to several observers, in order.
+type multiObserver []StepObserver
+
+func (m multiObserver) ObserveStep(now sim.Time, totalPower float64, domains []DomainSample) {
+	for _, o := range m {
+		o.ObserveStep(now, totalPower, domains)
+	}
+}
+
+// Observers combines step observers into one, dropping nils: an energy
+// ledger and a live-metrics observer can watch the same engine without
+// either knowing about the other. Zero non-nil observers return nil (the
+// engine then skips the observer path entirely), and a single observer
+// is returned unwrapped, so composition never costs an extra interface
+// hop unless there really are several.
+func Observers(obs ...StepObserver) StepObserver {
+	out := make(multiObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
 // Config assembles an engine.
 type Config struct {
 	DT       sim.Time

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hcapp/internal/cluster"
+	"hcapp/internal/energy"
+)
+
+// TestEnergyChargebackStandalone: a completed job bills its package
+// energy to the submitting tenant, visible in the job result, the
+// GET /v1/energy chargeback report and the Prometheus families.
+func TestEnergyChargebackStandalone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
+	_, ts := testServer(t, Config{Workers: 2})
+
+	req := JobRequest{Combo: "Mid-Mid", Scheme: "hcapp", Limit: "package-pin", DurMS: 0.5, Seed: seedOf(42), Tenant: "acme"}
+	st, _ := postJob(t, ts, req)
+	final := waitForJob(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job failed: %q", final.Error)
+	}
+	if final.Result == nil || final.Result.EnergyJoules <= 0 {
+		t.Fatalf("done job carries no energy charge: %+v", final.Result)
+	}
+
+	var rep energy.ChargebackReport
+	if resp := getJSON(t, ts.URL+"/v1/energy", &rep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/energy status %d", resp.StatusCode)
+	}
+	if rep.Jobs != 1 {
+		t.Fatalf("chargeback jobs = %d, want 1", rep.Jobs)
+	}
+	if len(rep.Tenants) != 1 || rep.Tenants[0].Tenant != "acme" {
+		t.Fatalf("chargeback tenants = %+v", rep.Tenants)
+	}
+	acme := rep.Tenants[0]
+	if acme.Joules != final.Result.EnergyJoules {
+		t.Fatalf("tenant charge %g != job result energy %g", acme.Joules, final.Result.EnergyJoules)
+	}
+	if acme.Jobs != 1 {
+		t.Fatalf("tenant jobs = %d", acme.Jobs)
+	}
+	// The per-domain rollup covers the package: every tracked domain is
+	// present and together they account for (at most) the package charge,
+	// up to summation rounding.
+	for _, dom := range []string{"cpu", "gpu", "sha", "mem"} {
+		if acme.Domains[dom] <= 0 {
+			t.Errorf("domain %s missing from rollup: %v", dom, acme.Domains)
+		}
+	}
+	domSum := 0.0
+	for _, j := range acme.Domains {
+		domSum += j
+	}
+	if domSum > acme.Joules*(1+1e-9) {
+		t.Errorf("domain energy %g exceeds package charge %g", domSum, acme.Joules)
+	}
+
+	// Method gating.
+	resp, err := http.Post(ts.URL+"/v1/energy", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/energy status %d, want 405", resp.StatusCode)
+	}
+
+	// Prometheus side: attribution counters and build info are exposed.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`hcapp_energy_joules_total{component="cpu/core0"`,
+		`hcapp_tenant_energy_joules_total{tenant="acme"}`,
+		`hcapp_build_info{version="`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestEnergyChargebackFleetMatchesStandalone: a coordinator bills the
+// same joules for a delegated job (simulated on a fleet worker, summary
+// carried back over the wire) as a standalone server does for the
+// identical request — chargeback is fleet-transparent.
+func TestEnergyChargebackFleetMatchesStandalone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations over a local fleet")
+	}
+	req := JobRequest{Combo: "Mid-Mid", Scheme: "hcapp", Limit: "package-pin", DurMS: 0.5, Seed: seedOf(7), Tenant: "acme"}
+
+	_, standaloneTS := testServer(t, Config{Workers: 2})
+	st, _ := postJob(t, standaloneTS, req)
+	local := waitForJob(t, standaloneTS, st.ID)
+	if local.State != StateDone {
+		t.Fatalf("standalone job failed: %q", local.Error)
+	}
+
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{Logf: t.Logf})
+	_, coordTS := testServer(t, Config{Workers: 2, Cluster: coord})
+	startFleetWorker(t, coordTS.URL, "w-1")
+	startFleetWorker(t, coordTS.URL, "w-2")
+
+	st2, _ := postJob(t, coordTS, req)
+	fleet := waitForJob(t, coordTS, st2.ID)
+	if fleet.State != StateDone {
+		t.Fatalf("delegated job failed: %q", fleet.Error)
+	}
+
+	if local.Result.EnergyJoules <= 0 {
+		t.Fatal("standalone job carries no energy")
+	}
+	if fleet.Result.EnergyJoules != local.Result.EnergyJoules {
+		t.Fatalf("fleet energy %g != standalone energy %g",
+			fleet.Result.EnergyJoules, local.Result.EnergyJoules)
+	}
+
+	var lrep, frep energy.ChargebackReport
+	getJSON(t, standaloneTS.URL+"/v1/energy", &lrep)
+	getJSON(t, coordTS.URL+"/v1/energy", &frep)
+	if len(lrep.Tenants) != 1 || len(frep.Tenants) != 1 {
+		t.Fatalf("tenant rows: standalone %d, fleet %d", len(lrep.Tenants), len(frep.Tenants))
+	}
+	if d := math.Abs(lrep.Tenants[0].Joules - frep.Tenants[0].Joules); d != 0 {
+		t.Fatalf("chargeback diverged across roles: standalone %g, fleet %g",
+			lrep.Tenants[0].Joules, frep.Tenants[0].Joules)
+	}
+}

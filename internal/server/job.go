@@ -83,11 +83,15 @@ type JobResult struct {
 	Completed     bool                `json:"completed"`
 	DurationNS    sim.Time            `json:"duration_ns"`
 	ControlCycles int64               `json:"control_cycles"`
+	// EnergyJoules is the run's total package energy (the amount charged
+	// to the submitting tenant in /v1/energy); zero when the run carried
+	// no ledger.
+	EnergyJoules float64 `json:"energy_joules,omitempty"`
 }
 
 // resultFromRun projects a RunResult onto the wire type.
 func resultFromRun(r experiment.RunResult) *JobResult {
-	return &JobResult{
+	out := &JobResult{
 		MaxWindowPower: r.MaxWindowPower,
 		MaxOverLimit:   r.MaxOverLimit,
 		Violated:       r.Violated,
@@ -98,6 +102,10 @@ func resultFromRun(r experiment.RunResult) *JobResult {
 		DurationNS:     r.Duration,
 		ControlCycles:  r.ControlCycles,
 	}
+	if r.Energy != nil {
+		out.EnergyJoules = r.Energy.TotalJ
+	}
+	return out
 }
 
 // Job is one tracked simulation.

@@ -264,6 +264,10 @@ func (mgr *Manager) runJob(j *Job) {
 		// we do not want shared, and isolate all mutable simulation state.
 		ev := experiment.NewEvaluator().WithTargetDur(j.dur)
 		ev.Cfg.Seed = j.seed
+		// Attribute energy on every job so chargeback works in standalone
+		// role exactly as it does behind a coordinator (whose fleet
+		// workers always track energy).
+		ev.TrackEnergy = true
 		info := jobSpecInfo{limit: j.spec.Limit}
 		if !isFixed(j.spec) {
 			info.target = experiment.TargetPowerFor(j.spec.Limit)
@@ -301,6 +305,11 @@ func (mgr *Manager) runJob(j *Job) {
 	if res.Violated {
 		mgr.metrics.jobsViolated.Inc()
 	}
+	// Chargeback: both roles attach a ledger to every run (standalone
+	// evaluators above, fleet workers remotely — including fleet-cache
+	// hits, which replay the cached wire result with its summary), so
+	// standalone and coordinator bill identically for the same jobs.
+	mgr.metrics.energy.Record(j.req.Tenant, res.Energy)
 }
 
 // failureReason classifies a job failure for hcapp_jobs_failed_total

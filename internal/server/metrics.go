@@ -1,7 +1,9 @@
 package server
 
 import (
+	"hcapp/internal/buildinfo"
 	"hcapp/internal/config"
+	"hcapp/internal/energy"
 	"hcapp/internal/experiment"
 	"hcapp/internal/sched"
 	"hcapp/internal/sim"
@@ -37,10 +39,18 @@ type metrics struct {
 	// histogram, in-flight and queue-depth gauges), shared by the job
 	// workers' runner so /metrics reports suite progress.
 	runner *experiment.RunnerMetrics
+
+	// energy rolls per-job ledger summaries into the bounded-cardinality
+	// hcapp_energy_joules_total / hcapp_tenant_energy_joules_total
+	// counters and the /v1/energy chargeback table.
+	energy *energy.Collector
 }
 
 func newMetrics() *metrics {
 	reg := telemetry.NewRegistry()
+	reg.Gauge("hcapp_build_info",
+		"Build metadata carried in labels; the value is always 1.",
+		"version").With(buildinfo.Version()).Set(1)
 	return &metrics{
 		reg: reg,
 		jobsSubmitted: reg.Counter("hcapp_jobs_submitted_total",
@@ -80,6 +90,7 @@ func newMetrics() *metrics {
 		httpRequests: reg.Counter("hcapp_http_requests_total",
 			"API requests served.", "handler"),
 		runner: experiment.NewRunnerMetrics(reg),
+		energy: energy.NewCollector(reg, energy.CollectorConfig{}),
 	}
 }
 

@@ -96,6 +96,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/jobs", s.counted("jobs", s.handleJobs))
 	s.mux.HandleFunc("/v1/jobs/", s.counted("job", s.handleJob))
+	s.mux.HandleFunc("/v1/energy", s.counted("energy", s.handleEnergy))
 	s.mux.HandleFunc("/healthz", s.counted("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/readyz", s.counted("readyz", s.handleReadyz))
 	s.mux.Handle("/metrics", s.countedHandler("metrics", s.metricsHandler()))
@@ -160,6 +161,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleEnergy serves GET /v1/energy: the per-tenant chargeback table
+// accumulated from every completed job's energy ledger. In coordinator
+// role the table covers the whole fleet — every delegated job's summary
+// comes back over the wire and is recorded here, so one endpoint bills
+// all tenants regardless of which worker simulated what.
+func (s *Server) handleEnergy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.energy.Chargeback())
 }
 
 // handleJobs serves POST /v1/jobs (submit) and GET /v1/jobs (list).

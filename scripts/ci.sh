@@ -34,17 +34,20 @@ go test -race -count=1 ./internal/cluster ./internal/server
 # wall clocks too (it self-skips on hosts with fewer than 4 CPUs).
 echo "== timing guards (no race) =="
 go test -run TestInstrumentedStepOverhead -count=1 .
+go test -run TestEnergyLedgerStepOverhead -count=1 .
 go test -run TestFaultInjectionStepOverhead -count=1 ./internal/sched
 go test -run TestRunnerParallelSpeedup -count=1 ./internal/experiment
 
 # Parallel determinism: the suite sharded across 4 workers must emit
-# byte-identical output to a sequential run of the same binary.
+# byte-identical output to a sequential run of the same binary. The
+# energy experiment rides along so the attribution ledger is held to the
+# same any-width guarantee.
 echo "== parallel determinism diff =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/hcappsim" ./cmd/hcappsim
-"$tmp/hcappsim" -experiment fig4,fig5,fig10 -dur 1 -workers 1 >"$tmp/seq.out"
-"$tmp/hcappsim" -experiment fig4,fig5,fig10 -dur 1 -workers 4 >"$tmp/par.out"
+"$tmp/hcappsim" -experiment fig4,fig5,fig10,energy -dur 1 -workers 1 >"$tmp/seq.out"
+"$tmp/hcappsim" -experiment fig4,fig5,fig10,energy -dur 1 -workers 4 >"$tmp/par.out"
 diff -u "$tmp/seq.out" "$tmp/par.out"
 echo "parallel output identical"
 
@@ -64,7 +67,7 @@ trap 'kill $coord_pid $w1_pid $w2_pid 2>/dev/null; rm -rf "$tmp"' EXIT
 # Two concurrent clients in different priority classes; each must match
 # the standalone output byte for byte. The clients' own readiness retry
 # (10 s patience on /readyz) absorbs fleet boot time.
-"$tmp/hcappsim" -experiment fig4,fig5 -dur 1 -workers 2 \
+"$tmp/hcappsim" -experiment fig4,fig5,energy -dur 1 -workers 2 \
 	-coordinator http://127.0.0.1:18080 -priority interactive -tenant ci-a >"$tmp/fleet-a.out" &
 client_a=$!
 "$tmp/hcappsim" -experiment fig10 -dur 1 -workers 2 \
@@ -72,7 +75,7 @@ client_a=$!
 client_b=$!
 wait $client_a
 wait $client_b
-"$tmp/hcappsim" -experiment fig4,fig5 -dur 1 -workers 1 >"$tmp/solo-a.out"
+"$tmp/hcappsim" -experiment fig4,fig5,energy -dur 1 -workers 1 >"$tmp/solo-a.out"
 "$tmp/hcappsim" -experiment fig10 -dur 1 -workers 1 >"$tmp/solo-b.out"
 diff -u "$tmp/solo-a.out" "$tmp/fleet-a.out"
 diff -u "$tmp/solo-b.out" "$tmp/fleet-b.out"
