@@ -26,6 +26,11 @@
 // role, standalone, is bit-compatible with every previous release:
 // jobs simulate on the local pool with no cluster machinery involved.
 //
+// For robustness testing, coordinator and worker roles accept
+// -chaos-seed (with -chaos-profile): a deterministic fault injector
+// that perturbs the cluster transport while output must stay
+// byte-identical (docs/CLUSTER.md).
+//
 // The process drains gracefully on SIGTERM/SIGINT: in-flight
 // simulations finish (bounded by -drain), new submissions get 503.
 // See docs/METRICS.md for the metric catalogue and README.md for curl
@@ -46,6 +51,7 @@ import (
 	"time"
 
 	"hcapp/internal/buildinfo"
+	"hcapp/internal/chaos"
 	"hcapp/internal/cluster"
 	"hcapp/internal/server"
 	"hcapp/internal/sim"
@@ -67,6 +73,9 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 2*time.Second, "fleet heartbeat interval (coordinator role)")
 	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admitted items/sec, 0 = unlimited (coordinator role)")
 	tenantBurst := flag.Int("tenant-burst", 256, "per-tenant token-bucket burst (coordinator role)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge straggler slices onto a second worker after this latency; 0 adapts to recent latencies, negative disables (coordinator role)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "deterministic fault-injection seed for the cluster transport, 0 = chaos off (coordinator/worker roles; testing only)")
+	chaosProfile := flag.String("chaos-profile", "soak", "fault-injection intensity: light, soak or heavy (with -chaos-seed)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -79,6 +88,23 @@ func main() {
 		drain = drainAlias
 	}
 
+	// Chaos is opt-in and scoped to the cluster transport: the injector
+	// only exists when -chaos-seed is set, and standalone nodes have no
+	// transport to perturb.
+	var inj *chaos.Injector
+	if *chaosSeed != 0 {
+		if *role == "standalone" {
+			fmt.Fprintln(os.Stderr, "hcapp-serve: -chaos-seed needs -role coordinator or worker (standalone has no cluster transport)")
+			os.Exit(2)
+		}
+		profile, err := chaos.ProfileByName(*chaosProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hcapp-serve: %v\n", err)
+			os.Exit(2)
+		}
+		inj = chaos.New(*chaosSeed, profile)
+	}
+
 	switch *role {
 	case "standalone", "coordinator":
 	case "worker":
@@ -86,7 +112,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hcapp-serve: -role worker requires -coordinator URL")
 			os.Exit(2)
 		}
-		runWorker(*addr, *coordinator, *advertise, *workerID, *workers, *drain)
+		runWorker(*addr, *coordinator, *advertise, *workerID, *workers, *drain, inj)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "hcapp-serve: unknown -role %q (valid: standalone, coordinator, worker)\n", *role)
@@ -101,17 +127,33 @@ func main() {
 		JobTimeout: *jobTimeout,
 	}
 	if *role == "coordinator" {
-		cfg.Cluster = cluster.NewCoordinator(cluster.CoordinatorConfig{
+		ccfg := cluster.CoordinatorConfig{
 			HeartbeatEvery: *heartbeat,
 			TenantRate:     *tenantRate,
 			TenantBurst:    *tenantBurst,
-		})
+			HedgeAfter:     *hedgeAfter,
+		}
+		if inj != nil {
+			// Outbound slices to workers go through the fault-injecting
+			// transport; each node draws its own schedule from the seed.
+			inj = inj.ForNode("coordinator")
+			ccfg.Client = &http.Client{Transport: inj.RoundTripper(nil)}
+			log.Printf("hcapp-serve: chaos enabled (seed %d, profile %s) — testing only", *chaosSeed, *chaosProfile)
+		}
+		cfg.Cluster = cluster.NewCoordinator(ccfg)
+		cfg.Chaos = inj
 	}
 	srv := server.New(cfg)
 
+	var handler http.Handler = srv
+	if inj != nil {
+		// Inbound registrations, heartbeats and batch submissions take
+		// faults too; health probes and /metrics stay exempt.
+		handler = inj.Middleware(handler)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -148,7 +190,7 @@ func main() {
 // runWorker serves the worker role: a slice-execution HTTP surface plus
 // a register/heartbeat loop against the coordinator. It blocks until
 // SIGTERM/SIGINT and then drains the listener.
-func runWorker(addr, coordinator, advertise, id string, workers int, drain time.Duration) {
+func runWorker(addr, coordinator, advertise, id string, workers int, drain time.Duration, inj *chaos.Injector) {
 	if advertise == "" {
 		// A bare ":8081" listen address reaches itself on loopback; a
 		// worker on another host must advertise explicitly.
@@ -158,16 +200,32 @@ func runWorker(addr, coordinator, advertise, id string, workers int, drain time.
 		}
 		advertise = "http://" + host
 	}
-	w := cluster.NewWorker(cluster.WorkerConfig{
+	wcfg := cluster.WorkerConfig{
 		ID:            id,
 		Coordinator:   coordinator,
 		AdvertiseAddr: advertise,
 		Workers:       workers,
-	})
+	}
+	if inj != nil {
+		// Give every worker its own schedule keyed by its stable fleet
+		// identity; pass -worker-id for a reproducible run.
+		node := id
+		if node == "" {
+			node = advertise
+		}
+		inj = inj.ForNode(node)
+		wcfg.Client = &http.Client{Timeout: 10 * time.Second, Transport: inj.RoundTripper(nil)}
+		log.Printf("hcapp-serve: chaos enabled on worker %s — testing only", node)
+	}
+	w := cluster.NewWorker(wcfg)
 
+	var handler http.Handler = w.Handler()
+	if inj != nil {
+		handler = inj.Middleware(handler)
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           w.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,0 +1,282 @@
+// Package chaos is a seed-driven, deterministic fault injector for the
+// cluster transport. From a single seed it derives a reproducible
+// schedule of transport faults — request latency, dropped and
+// blackholed requests, truncated and slow-trickle response bodies, 5xx
+// bursts, per-peer partitions, and node restart windows — and applies
+// them through two wrappers:
+//
+//   - Injector.RoundTripper wraps an http.RoundTripper (client side:
+//     the coordinator dialing workers, a worker dialing its
+//     coordinator), perturbing outbound requests and inbound response
+//     bodies.
+//   - Injector.Middleware wraps an http.Handler (server side: the
+//     coordinator's and workers' listeners), injecting 5xx bursts and
+//     restart windows before the real handler runs.
+//
+// Determinism: every decision is a pure function of (seed, node id,
+// peer, per-peer request sequence number). Two runs with the same seed,
+// the same node ids, and the same request interleaving see the same
+// fault schedule; the schedule never depends on wall-clock time, so a
+// fast machine and a slow machine inject the same faults at the same
+// request indices. The point is the acceptance bar in scripts/ci.sh:
+// under an aggressive seeded schedule, fleet output must stay
+// byte-identical to a standalone run — chaos may slow the fleet down,
+// never change what it computes.
+//
+// The injector is off unless constructed; hcapp-serve enables it with
+// -chaos-seed (see docs/CLUSTER.md).
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Profile parameterizes one fault mix. Probabilities are per request in
+// [0,1]; windowed faults (partitions, bursts, restarts) are counted in
+// requests, not time, so the schedule is reproducible under any timing.
+type Profile struct {
+	Name string
+
+	// Client-side faults (RoundTripper).
+
+	// LatencyProb delays a request by a uniform duration in
+	// [LatencyMin, LatencyMax] before it is sent.
+	LatencyProb float64
+	LatencyMin  time.Duration
+	LatencyMax  time.Duration
+	// DropProb fails a request without sending it. Half of the drops
+	// (by a deterministic coin) are blackholes: the caller waits
+	// LatencyMax first, modelling a request that vanished into a dead
+	// peer instead of a fast connection refusal.
+	DropProb float64
+	// TruncateProb cuts the response body mid-stream: the caller sees a
+	// prefix followed by an unexpected EOF, never a parseable whole.
+	TruncateProb float64
+	// TrickleProb delivers the response body in small chunks with
+	// TrickleDelay pauses between them (slow-loris on the read side).
+	TrickleProb  float64
+	TrickleDelay time.Duration
+	// Partitions: every PartitionEvery requests to one peer, the next
+	// PartitionLen requests to that peer are dropped — a bidirectional
+	// link cut lasts as long as both ends' windows overlap.
+	PartitionEvery int
+	PartitionLen   int
+
+	// Server-side faults (Middleware).
+
+	// ErrorBursts: every ErrorBurstEvery inbound requests, the next
+	// ErrorBurstLen requests are answered 500 without reaching the
+	// handler — consecutive failures, the circuit-breaker trigger.
+	ErrorBurstEvery int
+	ErrorBurstLen   int
+	// Restarts: every RestartEvery inbound requests, the node "goes
+	// down" for RestartLen requests, answering 503 + Retry-After to
+	// everything — register, heartbeat, and run alike.
+	RestartEvery int
+	RestartLen   int
+}
+
+// profiles is the named catalogue, mildest first. CI's soak stage uses
+// "soak"; "heavy" exists for manual torture runs.
+var profiles = []Profile{
+	{
+		Name:        "light",
+		LatencyProb: 0.05, LatencyMin: time.Millisecond, LatencyMax: 20 * time.Millisecond,
+		DropProb:        0.01,
+		TruncateProb:    0.005,
+		ErrorBurstEvery: 200, ErrorBurstLen: 2,
+	},
+	{
+		Name:        "soak",
+		LatencyProb: 0.10, LatencyMin: 2 * time.Millisecond, LatencyMax: 60 * time.Millisecond,
+		DropProb:     0.03,
+		TruncateProb: 0.02,
+		TrickleProb:  0.02, TrickleDelay: 3 * time.Millisecond,
+		PartitionEvery: 90, PartitionLen: 5,
+		ErrorBurstEvery: 15, ErrorBurstLen: 4,
+		RestartEvery: 150, RestartLen: 6,
+	},
+	{
+		Name:        "heavy",
+		LatencyProb: 0.20, LatencyMin: 5 * time.Millisecond, LatencyMax: 250 * time.Millisecond,
+		DropProb:     0.08,
+		TruncateProb: 0.05,
+		TrickleProb:  0.05, TrickleDelay: 5 * time.Millisecond,
+		PartitionEvery: 50, PartitionLen: 10,
+		ErrorBurstEvery: 25, ErrorBurstLen: 6,
+		RestartEvery: 100, RestartLen: 12,
+	},
+}
+
+// ProfileByName resolves a named profile; the error lists the valid
+// names (CLI flag validation).
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("chaos: unknown profile %q (valid: %s)", name, profileNames())
+}
+
+func profileNames() string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// Injector derives the fault schedule and applies it. Build one per
+// node with New(...).ForNode(id) so distinct nodes run distinct (but
+// individually reproducible) schedules from the shared seed — otherwise
+// every worker would restart in lockstep and a three-node fleet would
+// behave like one.
+type Injector struct {
+	seed    uint64
+	profile Profile
+	metrics *Metrics
+	// sleep is injectable so tests assert delays without serving them.
+	sleep func(ctx context.Context, d time.Duration)
+
+	mu     sync.Mutex
+	seq    map[string]uint64 // per-peer request counters
+	counts map[string]uint64 // per-kind injection tally
+}
+
+// New builds an injector for the given seed and profile.
+func New(seed int64, profile Profile) *Injector {
+	return &Injector{
+		seed:    uint64(seed),
+		profile: profile,
+		sleep:   sleepCtx,
+		seq:     make(map[string]uint64),
+		counts:  make(map[string]uint64),
+	}
+}
+
+// ForNode folds a node identity into the seed, deriving an independent
+// schedule for this node. The profile and metrics hook carry over.
+func (i *Injector) ForNode(id string) *Injector {
+	n := New(int64(i.seed^hash64(id)), i.profile)
+	n.metrics = i.metrics
+	n.sleep = i.sleep
+	return n
+}
+
+// WithMetrics publishes per-kind injection counters
+// (hcapp_chaos_faults_injected_total) alongside the internal tally.
+func (i *Injector) WithMetrics(m *Metrics) *Injector {
+	i.metrics = m
+	return i
+}
+
+// Profile reports the active profile (logging, flag echo).
+func (i *Injector) Profile() Profile { return i.profile }
+
+// Counts snapshots how many faults of each kind have been injected.
+func (i *Injector) Counts() map[string]uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[string]uint64, len(i.counts))
+	for k, v := range i.counts {
+		out[k] = v
+	}
+	return out
+}
+
+func (i *Injector) note(kind string) {
+	i.mu.Lock()
+	i.counts[kind]++
+	i.mu.Unlock()
+	i.metrics.inject(kind)
+}
+
+// next claims the peer's next sequence number.
+func (i *Injector) next(peer string) uint64 {
+	i.mu.Lock()
+	s := i.seq[peer]
+	i.seq[peer] = s + 1
+	i.mu.Unlock()
+	return s
+}
+
+// draw is a deterministic stream of uniform variates for one (peer,
+// seq) decision point: each fault type consumes draws in a fixed order,
+// so adding a fault type never reshuffles the others' schedule.
+type draw struct{ x uint64 }
+
+func (i *Injector) drawFor(peer string, seq uint64) *draw {
+	return &draw{x: splitmix64(i.seed ^ hash64(peer) ^ (seq+1)*0x9e3779b97f4a7c15)}
+}
+
+// f64 returns the next uniform variate in [0, 1).
+func (d *draw) f64() float64 {
+	d.x = splitmix64(d.x)
+	return float64(d.x>>11) / float64(1<<53)
+}
+
+// coin returns the next uniform bit.
+func (d *draw) coin() bool {
+	d.x = splitmix64(d.x)
+	return d.x&1 == 1
+}
+
+// between scales a variate into [lo, hi].
+func (d *draw) between(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(d.f64()*float64(hi-lo))
+}
+
+// inWindow reports whether seq falls in a recurring closed window of
+// length keep out of every period requests (the last keep of each
+// period, so a fresh peer gets a clean warm-up run first).
+func inWindow(seq uint64, period, keep int) bool {
+	if period <= 0 || keep <= 0 {
+		return false
+	}
+	return seq%uint64(period) >= uint64(period-keep)
+}
+
+// splitmix64 is the SplitMix64 mixer — tiny, stdlib-free, and plenty
+// for schedule derivation (not cryptography).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,260 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stubTransport returns a canned JSON response for every request
+// without touching the network.
+type stubTransport struct {
+	body  string
+	calls int
+}
+
+func (s *stubTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	s.calls++
+	return &http.Response{
+		StatusCode:    http.StatusOK,
+		Body:          io.NopCloser(strings.NewReader(s.body)),
+		ContentLength: int64(len(s.body)),
+		Header:        make(http.Header),
+	}, nil
+}
+
+func newTestInjector(seed int64, p Profile) *Injector {
+	i := New(seed, p)
+	i.sleep = func(context.Context, time.Duration) {}
+	return i
+}
+
+// schedule classifies the first n request outcomes against one peer:
+// "ok", "drop", "blackhole", "partition", "truncate", or "trickle".
+func schedule(t *testing.T, i *Injector, n int) []string {
+	t.Helper()
+	const body = `{"results":[{"error":""}],"cache_hits":0}`
+	rt := i.RoundTripper(&stubTransport{body: body})
+	out := make([]string, n)
+	for k := 0; k < n; k++ {
+		req, err := http.NewRequest(http.MethodPost, "http://peer-a:1/v1/worker/run", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := rt.RoundTrip(req)
+		if err != nil {
+			var de *DroppedError
+			if !errors.As(err, &de) {
+				t.Fatalf("request %d: unexpected non-chaos error %v", k, err)
+			}
+			out[k] = de.Kind
+			continue
+		}
+		got, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case rerr != nil:
+			out[k] = KindTruncate
+			if len(got) >= len(body) {
+				t.Fatalf("request %d: truncated body not shorter (%d vs %d bytes)", k, len(got), len(body))
+			}
+		case string(got) != body:
+			t.Fatalf("request %d: body corrupted: %q", k, got)
+		default:
+			out[k] = "ok"
+		}
+	}
+	return out
+}
+
+var aggressive = Profile{
+	Name:        "test",
+	LatencyProb: 0.3, LatencyMin: time.Millisecond, LatencyMax: 2 * time.Millisecond,
+	DropProb:     0.2,
+	TruncateProb: 0.2,
+	TrickleProb:  0.1, TrickleDelay: time.Millisecond,
+	PartitionEvery: 16, PartitionLen: 3,
+}
+
+// TestScheduleDeterministic: the same seed yields the same fault
+// schedule, request for request; a different seed yields a different
+// one; and a different node identity derives a different one too.
+func TestScheduleDeterministic(t *testing.T) {
+	const n = 256
+	a := schedule(t, newTestInjector(1337, aggressive), n)
+	b := schedule(t, newTestInjector(1337, aggressive), n)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := schedule(t, newTestInjector(7, aggressive), n)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	d := schedule(t, newTestInjector(1337, aggressive).ForNode("w2"), n)
+	if reflect.DeepEqual(a, d) {
+		t.Fatal("ForNode did not derive a distinct schedule")
+	}
+	faults := 0
+	for _, kind := range a {
+		if kind != "ok" {
+			faults++
+		}
+	}
+	if faults == 0 || faults == n {
+		t.Fatalf("degenerate schedule: %d/%d faulted", faults, n)
+	}
+}
+
+// TestPartitionWindows: with PartitionEvery 16 / PartitionLen 3, the
+// last 3 requests of every 16-request period are dropped as partitions,
+// exactly and only those.
+func TestPartitionWindows(t *testing.T) {
+	p := Profile{PartitionEvery: 16, PartitionLen: 3}
+	got := schedule(t, newTestInjector(1, p), 64)
+	for k, kind := range got {
+		want := "ok"
+		if k%16 >= 13 {
+			want = KindPartition
+		}
+		if kind != want {
+			t.Fatalf("request %d: got %q, want %q", k, kind, want)
+		}
+	}
+}
+
+// TestMiddlewareBurstsAndRestarts: the server-side schedule answers the
+// window requests with 500s (bursts) and 503+Retry-After (restarts)
+// without invoking the handler, and passes everything else through.
+func TestMiddlewareBurstsAndRestarts(t *testing.T) {
+	p := Profile{ErrorBurstEvery: 10, ErrorBurstLen: 2, RestartEvery: 40, RestartLen: 4}
+	i := newTestInjector(1, p)
+	served := 0
+	h := i.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		w.WriteHeader(http.StatusOK)
+	}))
+	for k := 0; k < 80; k++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/worker/run", nil))
+		want := http.StatusOK
+		switch {
+		case k%40 >= 36:
+			want = http.StatusServiceUnavailable
+		case k%10 >= 8:
+			want = http.StatusInternalServerError
+		}
+		if rec.Code != want {
+			t.Fatalf("request %d: status %d, want %d", k, rec.Code, want)
+		}
+		if want == http.StatusServiceUnavailable && rec.Header().Get("Retry-After") == "" {
+			t.Fatalf("request %d: restart-window 503 lacks Retry-After", k)
+		}
+	}
+	expect := 0
+	for k := 0; k < 80; k++ {
+		if k%40 < 36 && k%10 < 8 {
+			expect++
+		}
+	}
+	if served != expect {
+		t.Fatalf("handler served %d requests, want %d", served, expect)
+	}
+}
+
+// TestMiddlewareExemptsProbes: /healthz, /readyz and /metrics bypass
+// the schedule entirely — even inside a restart window — and do not
+// advance the inbound sequence counter.
+func TestMiddlewareExemptsProbes(t *testing.T) {
+	p := Profile{RestartEvery: 1, RestartLen: 1} // every data request 503s
+	i := newTestInjector(1, p)
+	h := i.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s faulted with %d; probes must be exempt", path, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/cluster/run", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("data-plane request got %d, want 503 under restart-everything profile", rec.Code)
+	}
+}
+
+// TestTruncateBreaksDecode: a truncated response must fail JSON
+// decoding — the client sees an unexpected EOF, never a silently
+// shorter but valid document.
+func TestTruncateBreaksDecode(t *testing.T) {
+	const body = `{"results":[{"error":"x"},{"error":"y"}],"cache_hits":3}`
+	resp := &http.Response{
+		StatusCode:    http.StatusOK,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+	}
+	truncateBody(resp)
+	var v map[string]any
+	err := json.NewDecoder(resp.Body).Decode(&v)
+	if err == nil {
+		t.Fatal("decode of truncated body succeeded")
+	}
+}
+
+// TestTrickleDeliversWholeBody: trickling slows delivery but the full
+// body arrives intact.
+func TestTrickleDeliversWholeBody(t *testing.T) {
+	const body = `{"results":[],"cache_hits":0}`
+	i := newTestInjector(1, Profile{TrickleDelay: 0})
+	resp := &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader(body)),
+	}
+	req, _ := http.NewRequest(http.MethodGet, "http://p:1/", nil)
+	trickleBody(resp, i, req)
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != body {
+		t.Fatalf("trickled body = %q, want %q", got, body)
+	}
+}
+
+// TestProfileByName: every catalogued profile resolves; unknown names
+// error with the valid list.
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"light", "soak", "heavy"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name {
+			t.Fatalf("ProfileByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil || !strings.Contains(err.Error(), "soak") {
+		t.Fatalf("unknown profile error %v does not list valid names", err)
+	}
+}
+
+// TestCountsTally: injections are tallied by kind.
+func TestCountsTally(t *testing.T) {
+	p := Profile{ErrorBurstEvery: 2, ErrorBurstLen: 1}
+	i := newTestInjector(1, p)
+	h := i.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	for k := 0; k < 10; k++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/x", nil))
+	}
+	if got := i.Counts()[KindError]; got != 5 {
+		t.Fatalf("Counts()[%s] = %d, want 5", KindError, got)
+	}
+}

@@ -1,0 +1,23 @@
+package chaos
+
+import "hcapp/internal/telemetry"
+
+// Metrics publishes the injector's per-kind fault tally; docs/METRICS.md
+// catalogues the family.
+type Metrics struct {
+	injected *telemetry.CounterVec // kind
+}
+
+// NewMetrics registers the chaos family on a registry.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		injected: reg.Counter("hcapp_chaos_faults_injected_total",
+			"Transport faults injected by the chaos schedule, by kind.", "kind"),
+	}
+}
+
+func (m *Metrics) inject(kind string) {
+	if m != nil {
+		m.injected.With(kind).Inc()
+	}
+}

@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Fault kinds, as counted by Counts() and the
+// hcapp_chaos_faults_injected_total{kind} metric.
+const (
+	KindLatency   = "latency"
+	KindDrop      = "drop"
+	KindBlackhole = "blackhole"
+	KindTruncate  = "truncate"
+	KindTrickle   = "trickle"
+	KindPartition = "partition"
+	KindError     = "5xx"
+	KindRestart   = "restart"
+)
+
+// DroppedError is the error a dropped or partitioned request fails
+// with; it unwraps from the *url.Error the http.Client returns, so
+// tests can tell injected faults from real ones.
+type DroppedError struct {
+	Peer string
+	Kind string // KindDrop, KindBlackhole or KindPartition
+}
+
+func (e *DroppedError) Error() string {
+	return fmt.Sprintf("chaos: %s request to %s", e.Kind, e.Peer)
+}
+
+// roundTripper applies client-side faults around an inner transport.
+type roundTripper struct {
+	inj  *Injector
+	next http.RoundTripper
+}
+
+// RoundTripper wraps a transport with the injector's client-side
+// schedule: per-peer partitions, drops/blackholes, added latency, and
+// truncated or trickled response bodies. nil next means
+// http.DefaultTransport. The peer identity is the request's host, so
+// one wrapped client talking to three workers runs three independent
+// schedules.
+func (i *Injector) RoundTripper(next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &roundTripper{inj: i, next: next}
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	i := rt.inj
+	p := i.profile
+	peer := req.URL.Host
+	seq := i.next(peer)
+	d := i.drawFor(peer, seq)
+
+	// Decision order is fixed: partition, drop, latency, then (after the
+	// response arrives) truncate or trickle. Every branch consumes its
+	// draws even when the fault is disabled, so schedules are stable
+	// across profiles that differ only in one probability.
+	if inWindow(seq, p.PartitionEvery, p.PartitionLen) {
+		i.note(KindPartition)
+		return nil, &DroppedError{Peer: peer, Kind: KindPartition}
+	}
+	if dropRoll := d.f64(); dropRoll < p.DropProb {
+		if d.coin() {
+			// Blackhole: the request "hangs" for the full latency budget
+			// before failing, like a peer that died holding the socket.
+			i.note(KindBlackhole)
+			i.sleep(req.Context(), p.LatencyMax)
+			return nil, &DroppedError{Peer: peer, Kind: KindBlackhole}
+		}
+		i.note(KindDrop)
+		return nil, &DroppedError{Peer: peer, Kind: KindDrop}
+	} else {
+		d.coin() // keep the draw stream aligned with the drop branch
+	}
+	if lat := d.f64(); lat < p.LatencyProb {
+		dur := d.between(p.LatencyMin, p.LatencyMax)
+		i.note(KindLatency)
+		i.sleep(req.Context(), dur)
+		if err := req.Context().Err(); err != nil {
+			return nil, err
+		}
+	} else {
+		d.between(p.LatencyMin, p.LatencyMax)
+	}
+
+	resp, err := rt.next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+
+	switch {
+	case d.f64() < p.TruncateProb:
+		i.note(KindTruncate)
+		truncateBody(resp)
+	case d.f64() < p.TrickleProb:
+		i.note(KindTrickle)
+		trickleBody(resp, rt.inj, req)
+	}
+	return resp, nil
+}
+
+// truncateBody swallows the tail of the response: the reader yields
+// roughly the first half of the body and then an unexpected EOF, so
+// JSON decoders fail mid-object instead of seeing a short-but-valid
+// document.
+func truncateBody(resp *http.Response) {
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		// The real body already failed; nothing left to cut.
+		resp.Body = io.NopCloser(bytes.NewReader(nil))
+		return
+	}
+	cut := len(body) / 2
+	resp.ContentLength = -1
+	resp.Body = io.NopCloser(&truncatedReader{data: body[:cut]})
+}
+
+// truncatedReader serves its prefix then fails with ErrUnexpectedEOF —
+// the signature of a connection cut mid-transfer.
+type truncatedReader struct {
+	data []byte
+	off  int
+}
+
+func (r *truncatedReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// trickleBody delivers the body in four chunks with injector pauses
+// between them — slow enough to exercise read paths, bounded enough
+// not to stall CI.
+func trickleBody(resp *http.Response, i *Injector, req *http.Request) {
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		resp.Body = io.NopCloser(bytes.NewReader(nil))
+		return
+	}
+	resp.Body = io.NopCloser(&trickleReader{
+		data:  body,
+		chunk: len(body)/4 + 1,
+		pause: func() { i.sleep(req.Context(), i.profile.TrickleDelay) },
+	})
+}
+
+type trickleReader struct {
+	data  []byte
+	off   int
+	chunk int
+	pause func()
+}
+
+func (r *trickleReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	if r.off > 0 {
+		r.pause()
+	}
+	n := r.chunk
+	if n > len(p) {
+		n = len(p)
+	}
+	if rest := len(r.data) - r.off; n > rest {
+		n = rest
+	}
+	copy(p, r.data[r.off:r.off+n])
+	r.off += n
+	return n, nil
+}
+
+// exemptPaths are never faulted by the middleware: probes and scrapes
+// stay observable so orchestration (and the CI harness) can watch the
+// chaos instead of being blinded by it. The data plane — jobs, cluster
+// control plane, worker slices — takes the full schedule.
+var exemptPaths = []string{"/healthz", "/readyz", "/metrics"}
+
+// Middleware wraps a handler with the injector's server-side schedule:
+// recurring restart windows (everything answers 503 + Retry-After, as
+// a restarting process would) and 5xx error bursts (consecutive 500s,
+// the canonical circuit-breaker trigger). Inbound requests share one
+// sequence counter per node — a restart window takes out the whole
+// node, not one caller.
+func (i *Injector) Middleware(next http.Handler) http.Handler {
+	const inboundPeer = "inbound"
+	p := i.profile
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for _, path := range exemptPaths {
+			if strings.HasPrefix(r.URL.Path, path) {
+				next.ServeHTTP(w, r)
+				return
+			}
+		}
+		seq := i.next(inboundPeer)
+		if inWindow(seq, p.RestartEvery, p.RestartLen) {
+			i.note(KindRestart)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "chaos: node restarting", http.StatusServiceUnavailable)
+			return
+		}
+		if inWindow(seq, p.ErrorBurstEvery, p.ErrorBurstLen) {
+			i.note(KindError)
+			http.Error(w, "chaos: injected server error", http.StatusInternalServerError)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

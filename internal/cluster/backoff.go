@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with full jitter:
+// attempt n waits a uniform duration in [0, min(Max, Base·2ⁿ)]. Full
+// jitter (rather than equal or decorrelated jitter) is what breaks up
+// thundering herds — after a coordinator restart, a fleet of workers
+// retrying in lockstep would otherwise arrive in synchronized waves.
+//
+// The zero value is usable and uses the defaults below. Rand and Sleep
+// are injectable so tests assert pacing without sleeping.
+type Backoff struct {
+	// Base is the first attempt's delay ceiling (default 100 ms).
+	Base time.Duration
+	// Max caps the delay ceiling (default 5 s).
+	Max time.Duration
+	// Rand returns a uniform variate in [0, 1); nil uses math/rand's
+	// locked global source.
+	Rand func() float64
+	// Sleep waits for d or until ctx dies; nil uses a timer. Tests
+	// inject a recorder here so retry loops run instantly.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Defaults shared by every fleet retry loop.
+const (
+	defaultBackoffBase = 100 * time.Millisecond
+	defaultBackoffMax  = 5 * time.Second
+)
+
+func (b Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return defaultBackoffBase
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max > 0 {
+		return b.Max
+	}
+	return defaultBackoffMax
+}
+
+func (b Backoff) rand() float64 {
+	if b.Rand != nil {
+		return b.Rand()
+	}
+	return rand.Float64()
+}
+
+// Delay returns the jittered delay for attempt n (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	ceil := b.base()
+	for i := 0; i < attempt && ceil < b.max(); i++ {
+		ceil *= 2
+	}
+	if ceil > b.max() {
+		ceil = b.max()
+	}
+	return time.Duration(b.rand() * float64(ceil))
+}
+
+// Wait sleeps for attempt n's jittered delay, honouring ctx.
+func (b Backoff) Wait(ctx context.Context, attempt int) error {
+	return b.WaitAtLeast(ctx, attempt, 0)
+}
+
+// WaitAtLeast sleeps for attempt n's jittered delay raised to at least
+// floor — the hook for server-directed pacing: a Retry-After header
+// becomes the floor, and the jittered exponential takes over when it
+// exceeds the server's hint.
+func (b Backoff) WaitAtLeast(ctx context.Context, attempt int, floor time.Duration) error {
+	d := b.Delay(attempt)
+	if d < floor {
+		d = floor
+	}
+	if b.Sleep != nil {
+		return b.Sleep(ctx, d)
+	}
+	return sleepCtx(ctx, d)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// JitterPhase returns a uniform duration in [0, d) — the initial offset
+// that desynchronizes periodic loops (heartbeats) across a fleet
+// started at the same instant.
+func (b Backoff) JitterPhase(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(b.rand() * float64(d))
+}
+
+// JitterAround returns d perturbed by ±frac (e.g. frac 0.1 yields a
+// uniform duration in [0.9·d, 1.1·d]) — steady-state tick spacing that
+// keeps desynchronized loops from re-synchronizing.
+func (b Backoff) JitterAround(d time.Duration, frac float64) time.Duration {
+	if d <= 0 || frac <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (1 - frac + 2*frac*b.rand()))
+}
+
+// parseRetryAfter extracts a Retry-After delay from a response header.
+// Only the delta-seconds form is parsed (the fleet never sends HTTP
+// dates); absent or malformed headers yield zero, meaning "no hint".
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryAfterSeconds renders a delay as a Retry-After header value,
+// rounding up so a sub-second hint never becomes "0" (which clients
+// read as "immediately").
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

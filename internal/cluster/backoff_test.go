@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// recordedBackoff returns a Backoff whose sleeps append to *delays
+// instead of blocking, with a deterministic "random" source.
+func recordedBackoff(delays *[]time.Duration, variate float64) Backoff {
+	return Backoff{
+		Rand: func() float64 { return variate },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			*delays = append(*delays, d)
+			return ctx.Err()
+		},
+	}
+}
+
+// TestBackoffDelayGrowthAndCap: with the variate pinned at 1.0 the
+// delay doubles from Base and caps at Max; with 0.0 (full jitter's low
+// edge) every delay is zero.
+func TestBackoffDelayGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Rand: func() float64 { return 1 }}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second,
+	}
+	for n, w := range want {
+		if got := b.Delay(n); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", n, got, w)
+		}
+	}
+	b.Rand = func() float64 { return 0 }
+	for n := 0; n < 6; n++ {
+		if got := b.Delay(n); got != 0 {
+			t.Fatalf("Delay(%d) with zero variate = %v, want 0", n, got)
+		}
+	}
+}
+
+// TestBackoffDefaults: the zero value is usable with the documented
+// defaults.
+func TestBackoffDefaults(t *testing.T) {
+	b := Backoff{Rand: func() float64 { return 1 }}
+	if got := b.Delay(0); got != defaultBackoffBase {
+		t.Fatalf("zero-value Delay(0) = %v, want %v", got, defaultBackoffBase)
+	}
+	if got := b.Delay(30); got != defaultBackoffMax {
+		t.Fatalf("zero-value Delay(30) = %v, want %v", got, defaultBackoffMax)
+	}
+}
+
+// TestWaitAtLeastHonoursFloor: a Retry-After floor raises the sleep
+// when the jittered delay is below it, and is ignored once the
+// exponential exceeds it.
+func TestWaitAtLeastHonoursFloor(t *testing.T) {
+	var delays []time.Duration
+	b := recordedBackoff(&delays, 0) // jitter low edge: delay would be 0
+	if err := b.WaitAtLeast(context.Background(), 0, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delays[0] != 2*time.Second {
+		t.Fatalf("floored sleep = %v, want 2s", delays[0])
+	}
+	b2 := recordedBackoff(&delays, 1) // jitter high edge
+	b2.Base, b2.Max = time.Second, 8*time.Second
+	if err := b2.WaitAtLeast(context.Background(), 3, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delays[1] != 8*time.Second {
+		t.Fatalf("sleep above floor = %v, want 8s (exponential wins)", delays[1])
+	}
+}
+
+// TestWaitRespectsContext: a dead context aborts the wait with its
+// error instead of sleeping.
+func TestWaitRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := Backoff{Base: time.Hour, Max: time.Hour, Rand: func() float64 { return 1 }}
+	start := time.Now()
+	err := b.Wait(ctx, 0)
+	if err != context.Canceled {
+		t.Fatalf("Wait on dead ctx = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Wait slept despite dead context")
+	}
+}
+
+// TestJitterHelpers: phase jitter lands in [0, d); around-jitter lands
+// in [d·(1-f), d·(1+f)].
+func TestJitterHelpers(t *testing.T) {
+	b := Backoff{}
+	d := 2 * time.Second
+	for i := 0; i < 100; i++ {
+		if p := b.JitterPhase(d); p < 0 || p >= d {
+			t.Fatalf("JitterPhase out of range: %v", p)
+		}
+		if a := b.JitterAround(d, 0.1); a < 1800*time.Millisecond || a > 2200*time.Millisecond {
+			t.Fatalf("JitterAround out of range: %v", a)
+		}
+	}
+	if b.JitterAround(d, 0) != d {
+		t.Fatal("JitterAround with zero frac must be identity")
+	}
+}
+
+// TestParseRetryAfter: delta-seconds parse, everything else is "no
+// hint"; rendering rounds sub-second hints up to 1.
+func TestParseRetryAfter(t *testing.T) {
+	h := http.Header{}
+	if got := parseRetryAfter(h); got != 0 {
+		t.Fatalf("absent header parsed as %v", got)
+	}
+	h.Set("Retry-After", "3")
+	if got := parseRetryAfter(h); got != 3*time.Second {
+		t.Fatalf("Retry-After: 3 parsed as %v", got)
+	}
+	for _, bad := range []string{"-1", "soon", "Tue, 29 Oct 2026 16:56:32 GMT"} {
+		h.Set("Retry-After", bad)
+		if got := parseRetryAfter(h); got != 0 {
+			t.Fatalf("Retry-After: %q parsed as %v, want 0", bad, got)
+		}
+	}
+	if got := retryAfterSeconds(250 * time.Millisecond); got != "1" {
+		t.Fatalf("retryAfterSeconds(250ms) = %q, want 1", got)
+	}
+	if got := retryAfterSeconds(2500 * time.Millisecond); got != "3" {
+		t.Fatalf("retryAfterSeconds(2.5s) = %q, want 3 (round up)", got)
+	}
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import "time"
+
+// Circuit-breaker states, as published on
+// hcapp_cluster_breaker_state{worker}.
+const (
+	brkClosed   = 0
+	brkOpen     = 1
+	brkHalfOpen = 2
+)
+
+// breaker is one worker's transport circuit breaker, manipulated only
+// under Coordinator.mu. It complements the dead flag: dead stops
+// routing until the next heartbeat (fast reaction, fast forgiveness),
+// while a tripped breaker holds the worker out of rotation for a full
+// cooldown even though it keeps heartbeating — the defense against a
+// worker that is alive enough to heartbeat but failing every slice
+// (flapping process, asymmetric partition, chaos 5xx burst). After the
+// cooldown the breaker half-opens: exactly one probe slice is routed
+// to the worker, and its outcome closes the breaker or re-trips it.
+type breaker struct {
+	state       int
+	consecFails int
+	openedUntil time.Time
+	// probing marks the single in-flight half-open probe; while set, no
+	// other slice is routed to the worker.
+	probing bool
+}
+
+// routable reports whether the breaker admits traffic at time now.
+// Pure — the open→half-open transition happens in take, when a
+// dispatch actually claims the worker, so a mere liveness refresh never
+// wedges the probe slot.
+func (b *breaker) routable(now time.Time) bool {
+	switch b.state {
+	case brkOpen:
+		return !now.Before(b.openedUntil) && !b.probing
+	case brkHalfOpen:
+		return !b.probing
+	default:
+		return true
+	}
+}
+
+// take claims the worker for a dispatch: an open (cooldown-expired) or
+// half-open breaker becomes the single in-flight probe. Closed
+// breakers are untouched. Callers hold Coordinator.mu and must later
+// report the outcome (result or abort), or the probe slot leaks.
+func (b *breaker) take() {
+	if b.state == brkOpen || b.state == brkHalfOpen {
+		b.state = brkHalfOpen
+		b.probing = true
+	}
+}
+
+// abort releases a claimed probe without an outcome (the dispatch was
+// cancelled before the slice was posted).
+func (b *breaker) abort() { b.probing = false }
+
+// result records a slice outcome. It reports whether this outcome
+// tripped the breaker (for logging and the trips counter): a trip is
+// any transition into open — threshold consecutive failures from
+// closed, or a failed half-open probe.
+func (b *breaker) result(ok bool, threshold int, now time.Time, cooldown time.Duration) (tripped bool) {
+	b.probing = false
+	if ok {
+		b.state = brkClosed
+		b.consecFails = 0
+		return false
+	}
+	b.consecFails++
+	if b.state == brkHalfOpen || b.consecFails >= threshold {
+		b.state = brkOpen
+		b.openedUntil = now.Add(cooldown)
+		return true
+	}
+	return false
+}

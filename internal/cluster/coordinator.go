@@ -40,6 +40,24 @@ type CoordinatorConfig struct {
 	// MaxCacheEntries bounds the fleet result cache (default 4096,
 	// oldest-first eviction).
 	MaxCacheEntries int
+	// BreakerThreshold is how many consecutive transport failures trip
+	// a worker's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker holds the worker
+	// out of rotation before half-opening for a probe (default 5 s).
+	BreakerCooldown time.Duration
+	// NoWorkersPatience is how long a dispatch waits out a transient
+	// worker drought — registered workers exist but none is currently
+	// routable (tripped breakers, missed heartbeats) — before failing
+	// the batch with ErrNoWorkers. Batches against an empty registry
+	// still fail fast. Default BreakerCooldown + 2 × HeartbeatEvery;
+	// negative disables the patience.
+	NoWorkersPatience time.Duration
+	// HedgeAfter is the latency after which a slice is hedged onto a
+	// second live worker, first result winning. Zero (the default)
+	// adapts the threshold to recent slice latencies; negative disables
+	// hedging.
+	HedgeAfter time.Duration
 	// Client dials workers; nil uses a default client with no overall
 	// timeout (simulations are long; cancellation flows through the
 	// batch context).
@@ -61,6 +79,15 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.MaxCacheEntries <= 0 {
 		c.MaxCacheEntries = 4096
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.NoWorkersPatience == 0 {
+		c.NoWorkersPatience = c.BreakerCooldown + 2*c.HeartbeatEvery
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
@@ -88,6 +115,12 @@ type Coordinator struct {
 	cache      map[string]ItemResult
 	cacheOrder []string
 	inflight   map[string]*flight
+
+	// latMu guards the recent-slice-latency ring the adaptive hedge
+	// threshold derives from.
+	latMu sync.Mutex
+	lat   [64]time.Duration
+	latN  int
 }
 
 type workerState struct {
@@ -97,6 +130,10 @@ type workerState struct {
 	// immediately (faster than heartbeat expiry) until it heartbeats or
 	// re-registers.
 	dead bool
+	// brk holds the worker's transport circuit breaker; unlike dead, a
+	// tripped breaker survives heartbeats until its cooldown expires
+	// and a half-open probe succeeds.
+	brk breaker
 }
 
 // flight is one in-progress batch item; fleet-wide single-flight means
@@ -199,7 +236,7 @@ func (c *Coordinator) WorkerList() []WorkerInfo {
 }
 
 func (c *Coordinator) isLiveLocked(w *workerState) bool {
-	return !w.dead && c.now().Sub(w.lastSeen) <= c.cfg.ExpireAfter
+	return !w.dead && c.now().Sub(w.lastSeen) <= c.cfg.ExpireAfter && w.brk.routable(c.now())
 }
 
 // liveLocked snapshots live workers sorted by id (stable shard
@@ -362,6 +399,7 @@ func (c *Coordinator) Execute(ctx context.Context, req RunRequest) (*RunResponse
 // content hash, and deterministic, because results land in index slots.
 func (c *Coordinator) dispatch(ctx context.Context, params Params, interactive bool, leaders []leaderItem) {
 	remaining := leaders
+	var droughtStart time.Time
 	for len(remaining) > 0 {
 		if err := ctx.Err(); err != nil {
 			c.resolveAll(remaining, ItemResult{}, err)
@@ -369,17 +407,43 @@ func (c *Coordinator) dispatch(ctx context.Context, params Params, interactive b
 		}
 		c.mu.Lock()
 		ws := c.liveLocked()
+		registered := len(c.workers)
 		c.refreshLiveLocked()
-		c.mu.Unlock()
-		if len(ws) == 0 {
-			c.resolveAll(remaining, ItemResult{}, ErrNoWorkers)
-			return
-		}
-
 		nslices := len(ws)
 		if len(remaining) < nslices {
 			nslices = len(remaining)
 		}
+		// Claim the selected workers' breakers before releasing the
+		// lock: a half-open worker admits exactly one probe slice.
+		for si := 0; si < nslices; si++ {
+			ws[si].brk.take()
+		}
+		c.mu.Unlock()
+		if len(ws) == 0 {
+			// A drought with registered workers is usually transient:
+			// breakers cooling down, or every worker between heartbeats.
+			// Wait it out (bounded by NoWorkersPatience) instead of
+			// failing a batch a breaker half-open would rescue in a few
+			// hundred milliseconds. An empty registry still fails fast.
+			if registered > 0 && c.cfg.NoWorkersPatience > 0 {
+				if droughtStart.IsZero() {
+					droughtStart = time.Now()
+				}
+				if time.Since(droughtStart) < c.cfg.NoWorkersPatience {
+					select {
+					case <-ctx.Done():
+						c.resolveAll(remaining, ItemResult{}, ctx.Err())
+						return
+					case <-time.After(150 * time.Millisecond):
+					}
+					continue
+				}
+			}
+			c.resolveAll(remaining, ItemResult{}, ErrNoWorkers)
+			return
+		}
+		droughtStart = time.Time{}
+
 		slices := make([][]leaderItem, nslices)
 		for j, li := range remaining {
 			slices[j%nslices] = append(slices[j%nslices], li)
@@ -396,23 +460,19 @@ func (c *Coordinator) dispatch(ctx context.Context, params Params, interactive b
 			go func() {
 				defer wg.Done()
 				if err := c.sem.acquire(ctx, interactive); err != nil {
+					c.breakerAbort(w.ID)
 					mu.Lock()
 					failed = append(failed, slice...)
 					mu.Unlock()
 					return
 				}
 				defer c.sem.release()
-				results, err := c.postSlice(ctx, w, params, slice)
+				results, err := c.hedgedPost(ctx, w, params, slice)
 				if err != nil {
 					mu.Lock()
 					failed = append(failed, slice...)
 					mu.Unlock()
 					if ctx.Err() == nil {
-						// A real worker failure, not our own cancellation:
-						// stop routing to it and re-shard its slice.
-						c.cfg.Logf("cluster: worker %s (%s) lost mid-slice (%d items): %v; re-sharding",
-							w.ID, w.Addr, len(slice), err)
-						c.markDead(w.ID)
 						c.metrics.addResharded(len(slice))
 					}
 					return
@@ -430,6 +490,171 @@ func (c *Coordinator) dispatch(ctx context.Context, params Params, interactive b
 		wg.Wait()
 		remaining = failed
 	}
+}
+
+// hedgedPost ships one slice to its primary worker and, if the primary
+// has not answered within the hedge threshold, re-issues it to a
+// second live worker — first successful response wins. Re-issuing is
+// safe because every item is content-addressed: both workers compute
+// the identical result, and the loser's response is discarded (its
+// in-flight request is cancelled). Worker failures are recorded on the
+// per-worker circuit breaker and mark the worker dead; an error return
+// means every attempted worker failed and the caller should re-shard.
+func (c *Coordinator) hedgedPost(ctx context.Context, primary RegisterRequest, params Params, slice []leaderItem) ([]ItemResult, error) {
+	postCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		w       RegisterRequest
+		results []ItemResult
+		err     error
+		hedge   bool
+	}
+	ch := make(chan outcome, 2)
+	post := func(w RegisterRequest, hedge bool) {
+		start := time.Now()
+		results, err := c.postSlice(postCtx, w, params, slice)
+		switch {
+		case err == nil:
+			c.noteWorkerResult(w.ID, true)
+			c.observeSliceLatency(time.Since(start))
+		case postCtx.Err() != nil:
+			// Our own cancellation (the batch died or the other post
+			// already won), not a verdict on the worker — but release the
+			// probe slot a half-open breaker may be holding for us.
+			c.breakerAbort(w.ID)
+		default:
+			c.cfg.Logf("cluster: worker %s (%s) failed a slice (%d items): %v",
+				w.ID, w.Addr, len(slice), err)
+			c.noteWorkerResult(w.ID, false)
+			c.markDead(w.ID)
+		}
+		ch <- outcome{w: w, results: results, err: err, hedge: hedge}
+	}
+	go post(primary, false)
+
+	var hedgeC <-chan time.Time
+	if d := c.hedgeDelay(); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	outstanding := 1
+	var firstErr error
+	for {
+		select {
+		case out := <-ch:
+			outstanding--
+			if out.err == nil {
+				if out.hedge {
+					c.metrics.addHedgeWins()
+				}
+				return out.results, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if h, ok := c.pickHedge(primary.ID); ok {
+				c.metrics.addHedged(len(slice))
+				outstanding++
+				go post(h, true)
+			}
+		case <-ctx.Done():
+			// The buffered channel lets the in-flight posts finish and
+			// exit without a reader.
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// pickHedge claims the first live worker other than the primary as a
+// hedge target.
+func (c *Coordinator) pickHedge(primaryID string) (RegisterRequest, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.liveLocked() {
+		if w.info.ID != primaryID {
+			w.brk.take()
+			return w.info, true
+		}
+	}
+	return RegisterRequest{}, false
+}
+
+// noteWorkerResult records a slice outcome on the worker's breaker,
+// tripping it after BreakerThreshold consecutive failures (or one
+// failed half-open probe).
+func (c *Coordinator) noteWorkerResult(id string, ok bool) {
+	c.mu.Lock()
+	w, exists := c.workers[id]
+	if !exists {
+		c.mu.Unlock()
+		return
+	}
+	wasOpen := w.brk.state == brkOpen
+	tripped := w.brk.result(ok, c.cfg.BreakerThreshold, c.now(), c.cfg.BreakerCooldown)
+	fails := w.brk.consecFails
+	c.metrics.setBreakerState(id, w.brk.state)
+	c.refreshLiveLocked()
+	c.mu.Unlock()
+	if tripped && !wasOpen {
+		c.metrics.addBreakerTrip()
+		c.cfg.Logf("cluster: worker %s breaker tripped after %d consecutive failures (cooldown %s)",
+			id, fails, c.cfg.BreakerCooldown)
+	}
+}
+
+// breakerAbort releases a claimed probe slot without an outcome.
+func (c *Coordinator) breakerAbort(id string) {
+	c.mu.Lock()
+	if w, ok := c.workers[id]; ok {
+		w.brk.abort()
+	}
+	c.refreshLiveLocked()
+	c.mu.Unlock()
+}
+
+// observeSliceLatency feeds the adaptive hedge threshold.
+func (c *Coordinator) observeSliceLatency(d time.Duration) {
+	c.latMu.Lock()
+	c.lat[c.latN%len(c.lat)] = d
+	c.latN++
+	c.latMu.Unlock()
+}
+
+// hedgeDelay resolves the hedge threshold: the configured HedgeAfter
+// when set, 0 (disabled) when negative, otherwise adaptively 2× the
+// p90 of recent slice latencies — hedging targets stragglers, not the
+// ordinary tail.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	if c.cfg.HedgeAfter > 0 {
+		return c.cfg.HedgeAfter
+	}
+	if c.cfg.HedgeAfter < 0 {
+		return 0
+	}
+	c.latMu.Lock()
+	n := c.latN
+	if n > len(c.lat) {
+		n = len(c.lat)
+	}
+	sample := make([]time.Duration, n)
+	copy(sample, c.lat[:n])
+	c.latMu.Unlock()
+	if n < 8 {
+		// Too little signal to call anything a straggler yet.
+		return 2 * time.Second
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	d := 2 * sample[n*9/10]
+	if min := 500 * time.Millisecond; d < min {
+		d = min
+	}
+	return d
 }
 
 // postSlice ships one slice to one worker and returns its index-aligned
@@ -577,8 +802,11 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 	resp, err := c.RunBatch(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrThrottled):
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 	case errors.Is(err, ErrNoWorkers):
+		// A worker may register or heartbeat back within one cadence.
+		w.Header().Set("Retry-After", retryAfterSeconds(c.cfg.HeartbeatEvery))
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, ErrBadItem):
 		writeError(w, http.StatusBadRequest, "%v", err)

@@ -260,6 +260,56 @@ func TestAllWorkersLost(t *testing.T) {
 	}
 }
 
+// TestDispatchWaitsOutWorkerDrought: a batch arriving while every
+// registered worker is unroutable is not failed 503 immediately — the
+// dispatch waits up to NoWorkersPatience, so a heartbeat inside the
+// window rescues the batch. An empty registry (TestAllWorkersLost)
+// still fails fast.
+func TestDispatchWaitsOutWorkerDrought(t *testing.T) {
+	w := startWorker(t, "drought")
+	c := NewCoordinator(CoordinatorConfig{Logf: t.Logf, NoWorkersPatience: 5 * time.Second})
+	registerWorker(t, c, w)
+	c.markDead(w.cfg.ID)
+	if c.WorkersLive() != 0 {
+		t.Fatalf("WorkersLive = %d before the drought, want 0", c.WorkersLive())
+	}
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		c.Heartbeat(w.cfg.ID)
+	}()
+	items := testItems(t, 2)
+	resp, err := c.Execute(context.Background(), RunRequest{Params: testParams(), Items: items})
+	if err != nil {
+		t.Fatalf("batch during a rescued drought: %v", err)
+	}
+	want := localResults(t, testParams(), items)
+	for i, r := range resp.Results {
+		if r.Error != "" {
+			t.Fatalf("item %d: %s", i, r.Error)
+		}
+		if !reflect.DeepEqual(r.Result, &want[i]) {
+			t.Fatalf("item %d result differs from local run", i)
+		}
+	}
+}
+
+// TestDispatchDroughtPatienceExpires: a drought nobody rescues still
+// ends in ErrNoWorkers once the patience runs out.
+func TestDispatchDroughtPatienceExpires(t *testing.T) {
+	w := startWorker(t, "drought-expired")
+	c := NewCoordinator(CoordinatorConfig{Logf: t.Logf, NoWorkersPatience: 300 * time.Millisecond})
+	registerWorker(t, c, w)
+	c.markDead(w.cfg.ID)
+	start := time.Now()
+	_, err := c.Execute(context.Background(), RunRequest{Params: testParams(), Items: testItems(t, 1)})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+	if waited := time.Since(start); waited < 300*time.Millisecond {
+		t.Fatalf("gave up after %s, before the %s patience", waited, 300*time.Millisecond)
+	}
+}
+
 // TestRunBatchThrottles: the tenant bucket rejects whole batches it
 // cannot pay for and counts them per tenant; an affordable batch from
 // the same tenant passes the limiter.

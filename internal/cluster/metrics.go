@@ -10,6 +10,10 @@ type Metrics struct {
 	cacheHits       *telemetry.Counter
 	items           *telemetry.Counter
 	tenantThrottled *telemetry.CounterVec // tenant
+	breakerState    *telemetry.GaugeVec   // worker
+	breakerTrips    *telemetry.Counter
+	hedged          *telemetry.Counter
+	hedgeWins       *telemetry.Counter
 }
 
 // NewMetrics registers the cluster families on a registry.
@@ -25,6 +29,14 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Batch items admitted by the coordinator (cache hits included).").With(),
 		tenantThrottled: reg.Counter("hcapp_tenant_throttled_total",
 			"Batches rejected with 429 by the per-tenant token bucket.", "tenant"),
+		breakerState: reg.Gauge("hcapp_cluster_breaker_state",
+			"Per-worker circuit-breaker state: 0 closed, 1 open, 2 half-open.", "worker"),
+		breakerTrips: reg.Counter("hcapp_cluster_breaker_trips_total",
+			"Circuit-breaker trips (closed/half-open to open) across all workers.").With(),
+		hedged: reg.Counter("hcapp_cluster_hedged_slices_total",
+			"Batch items re-issued to a second live worker after the hedge latency threshold.").With(),
+		hedgeWins: reg.Counter("hcapp_cluster_hedge_wins_total",
+			"Hedged slices where the hedge returned before the primary worker.").With(),
 	}
 }
 
@@ -49,6 +61,30 @@ func (m *Metrics) addCacheHits(n int) {
 func (m *Metrics) addItems(n int) {
 	if m != nil {
 		m.items.Add(float64(n))
+	}
+}
+
+func (m *Metrics) setBreakerState(worker string, state int) {
+	if m != nil {
+		m.breakerState.With(worker).Set(float64(state))
+	}
+}
+
+func (m *Metrics) addBreakerTrip() {
+	if m != nil {
+		m.breakerTrips.Inc()
+	}
+}
+
+func (m *Metrics) addHedged(n int) {
+	if m != nil {
+		m.hedged.Add(float64(n))
+	}
+}
+
+func (m *Metrics) addHedgeWins() {
+	if m != nil {
+		m.hedgeWins.Inc()
 	}
 }
 

@@ -29,6 +29,10 @@ type WorkerConfig struct {
 	// Client talks to the coordinator; nil uses a 10 s-timeout client
 	// (register/heartbeat are small control messages).
 	Client *http.Client
+	// Backoff paces registration retries and jitters the heartbeat
+	// phase; the zero value uses the shared defaults. Tests inject a
+	// recording Sleep here so retry loops run instantly.
+	Backoff Backoff
 	// Logf receives operational events; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -141,33 +145,39 @@ func (w *Worker) heartbeat(ctx context.Context) error {
 	return nil
 }
 
-// Run registers (retrying until ctx dies) and then heartbeats until ctx
-// dies. It returns nil on a clean context cancellation.
+// Run registers (retrying with capped jittered backoff until ctx dies)
+// and then heartbeats until ctx dies. The heartbeat loop starts at a
+// random phase inside the first interval and keeps ±10% jitter on every
+// tick, so a fleet of workers restarted together — or reconnecting
+// after a coordinator restart — spreads its control traffic instead of
+// arriving as a thundering herd. It returns nil on a clean context
+// cancellation.
 func (w *Worker) Run(ctx context.Context) error {
-	for {
+	for attempt := 0; ; attempt++ {
 		if err := w.Register(ctx); err == nil {
 			break
 		} else {
 			w.cfg.Logf("cluster: worker %s: register with %s failed: %v (retrying)",
 				w.cfg.ID, w.cfg.Coordinator, err)
 		}
-		select {
-		case <-time.After(time.Second):
-		case <-ctx.Done():
-			return ctx.Err()
+		if err := w.cfg.Backoff.Wait(ctx, attempt); err != nil {
+			return err
 		}
 	}
 	w.cfg.Logf("cluster: worker %s registered with %s (heartbeat every %s)",
 		w.cfg.ID, w.cfg.Coordinator, w.heartbeatEvery)
-	t := time.NewTicker(w.heartbeatEvery)
-	defer t.Stop()
+	// Random phase first, jittered interval thereafter.
+	next := w.cfg.Backoff.JitterPhase(w.heartbeatEvery)
 	for {
+		t := time.NewTimer(next)
 		select {
 		case <-t.C:
 			if err := w.heartbeat(ctx); err != nil && ctx.Err() == nil {
 				w.cfg.Logf("cluster: worker %s: heartbeat failed: %v", w.cfg.ID, err)
 			}
+			next = w.cfg.Backoff.JitterAround(w.heartbeatEvery, 0.1)
 		case <-ctx.Done():
+			t.Stop()
 			return nil
 		}
 	}

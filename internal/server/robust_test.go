@@ -146,6 +146,13 @@ func TestShutdownUnderLoad(t *testing.T) {
 	if err := s.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown under load: %v", err)
 	}
+	// A drained server sheds new work with a Retry-After pointing at the
+	// replacement process, not the refill interval.
+	if _, resp := postJob(t, ts, JobRequest{Combo: "Low-Low", DurMS: 0.3}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: %d, want 503", resp.StatusCode)
+	} else if ra := resp.Header.Get("Retry-After"); ra != "5" {
+		t.Fatalf("post-drain 503 Retry-After = %q, want \"5\"", ra)
+	}
 	for _, id := range ids {
 		j, ok := s.Manager().Get(id)
 		if !ok {

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"hcapp/internal/chaos"
 	"hcapp/internal/cluster"
 	"hcapp/internal/sim"
 )
@@ -47,6 +48,11 @@ type Config struct {
 	// control-plane endpoints mount under /v1/cluster/, and /readyz
 	// requires at least one live fleet worker.
 	Cluster *cluster.Coordinator
+	// Chaos, when non-nil, is the fault injector wrapped around this
+	// node's transport (hcapp-serve -chaos-seed). The server only
+	// attaches its injection counters to the registry so
+	// hcapp_chaos_faults_injected_total lands in the same scrape.
+	Chaos *chaos.Injector
 	// Logf receives operational events (panic stacks, fleet churn); nil
 	// means log.Printf.
 	Logf func(format string, args ...any)
@@ -105,6 +111,9 @@ func New(cfg Config) *Server {
 		// one /metrics scrape covers jobs and fleet alike.
 		cfg.Cluster.WithMetrics(cluster.NewMetrics(m.reg))
 		s.mux.Handle("/v1/cluster/", s.countedHandler("cluster", cfg.Cluster.Handler()))
+	}
+	if cfg.Chaos != nil {
+		cfg.Chaos.WithMetrics(chaos.NewMetrics(m.reg))
 	}
 	return s
 }
@@ -191,10 +200,18 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		j, err := s.manager.Submit(req)
 		switch {
 		case err == ErrQueueFull:
+			// Queue pressure and token buckets both clear quickly; tell
+			// well-behaved clients when to come back instead of letting
+			// them guess.
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "%v", err)
 		case err == ErrTenantThrottled:
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "%v", err)
 		case err == ErrShuttingDown:
+			// A drain is terminal for this process: point clients at the
+			// replacement's spin-up time, not the bucket refill.
+			w.Header().Set("Retry-After", "5")
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 		case err != nil:
 			writeError(w, http.StatusBadRequest, "%v", err)
@@ -324,6 +341,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		fleet = &n
 	}
 	if !s.manager.Ready() {
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Status: "unready", FleetWorkers: fleet})
 		return
 	}

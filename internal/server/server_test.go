@@ -314,6 +314,9 @@ func TestQueueFullShedsLoad(t *testing.T) {
 			ids = append(ids, st.ID)
 		case http.StatusTooManyRequests:
 			sawReject = true
+			if ra := resp.Header.Get("Retry-After"); ra != "1" {
+				t.Fatalf("429 Retry-After = %q, want \"1\"", ra)
+			}
 		default:
 			t.Fatalf("unexpected status %d", resp.StatusCode)
 		}

@@ -22,11 +22,12 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-# The fleet scheduler and its serve integration are the most
-# concurrency-heavy packages; run them race-enabled one extra time with
-# count=1 so caching never masks a racy interleaving.
+# The fleet scheduler, its serve integration, and the chaos injector
+# are the most concurrency-heavy packages; run them race-enabled one
+# extra time with count=1 so caching never masks a racy interleaving.
+# This pass covers the breaker, hedging, and backoff tests too.
 echo "== cluster packages under -race (uncached) =="
-go test -race -count=1 ./internal/cluster ./internal/server
+go test -race -count=1 ./internal/cluster ./internal/server ./internal/chaos
 
 # The step-overhead contracts compare inlined hot paths; race
 # instrumentation disables that inlining, so they skip under -race and
@@ -84,7 +85,51 @@ wait $coord_pid $w1_pid $w2_pid 2>/dev/null || true
 trap 'rm -rf "$tmp"' EXIT
 echo "fleet output identical to standalone"
 
+# Chaos soak: the same fleet, but every node injects deterministic
+# transport faults (latency, drops, truncation, 5xx bursts, partitions,
+# restart windows) from a fixed seed. Backoff, circuit breakers,
+# hedging, and re-sharding must absorb all of it: the client's output
+# still diffs clean against the sequential standalone run, and the
+# coordinator's /metrics must show the machinery actually engaged.
+echo "== chaos soak (coordinator + 3 workers, seeded faults) =="
+"$tmp/hcapp-serve" -role coordinator -addr 127.0.0.1:18090 \
+	-chaos-seed 1337 -chaos-profile soak -hedge-after 10ms &
+coord_pid=$!
+for i in 1 2 3; do
+	"$tmp/hcapp-serve" -role worker -addr 127.0.0.1:1809$i \
+		-coordinator http://127.0.0.1:18090 -worker-id soak-w$i \
+		-chaos-seed 1337 -chaos-profile soak &
+	eval "w${i}_pid=\$!"
+done
+trap 'kill $coord_pid $w1_pid $w2_pid $w3_pid 2>/dev/null; rm -rf "$tmp"' EXIT
+
+"$tmp/hcappsim" -experiment fig4,fig5,fig10,energy -dur 1 -workers 4 \
+	-coordinator http://127.0.0.1:18090 -tenant chaos-soak >"$tmp/chaos.out"
+diff -u "$tmp/seq.out" "$tmp/chaos.out"
+echo "chaos-soaked fleet output identical to standalone"
+
+metrics="$(curl -s http://127.0.0.1:18090/metrics)"
+echo "$metrics" | grep -q "^hcapp_chaos_faults_injected_total" || {
+	echo "chaos soak: no faults injected — chaos was not actually on"
+	exit 1
+}
+# The robustness machinery must have actually engaged, not just survived:
+# the soak profile's 5xx bursts are long enough to trip breakers, and
+# -hedge-after 10ms is below ordinary slice latency, so hedges fire.
+for want in hcapp_cluster_breaker_trips_total hcapp_cluster_hedged_slices_total; do
+	echo "$metrics" | awk -v m="$want" '$1 == m && $2 > 0 {found=1} END {exit !found}' || {
+		echo "chaos soak: $want is zero or missing from coordinator /metrics"
+		exit 1
+	}
+done
+echo "chaos faults injected, breakers tripped, slices hedged (coordinator /metrics)"
+
+kill $coord_pid $w1_pid $w2_pid $w3_pid 2>/dev/null
+wait $coord_pid $w1_pid $w2_pid $w3_pid 2>/dev/null || true
+trap 'rm -rf "$tmp"' EXIT
+
 echo "== fuzz (short) =="
 go test -run NoSuchTest -fuzz FuzzParseText -fuzztime 5s ./internal/telemetry
+go test -run NoSuchTest -fuzz FuzzClusterProtocol -fuzztime 5s ./internal/cluster
 
 echo "ci: all green"
