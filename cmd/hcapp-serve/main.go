@@ -10,9 +10,14 @@
 //	GET  /v1/jobs             list retained jobs
 //	GET  /v1/jobs/{id}        job status + result
 //	GET  /v1/jobs/{id}/trace  page through the live power trace
+//	GET  /v1/traces           distributed span trees (docs/TRACING.md)
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             process liveness (always 200 once serving)
 //	GET  /readyz              routability (503 while draining/unready)
+//
+// Passing -pprof additionally mounts Go's profiling endpoints under
+// /debug/pprof/ (all roles; opt-in because a profile can stall the
+// process for its whole sampling window).
 //
 // The process can also run as one node of a distributed fleet
 // (docs/CLUSTER.md):
@@ -44,6 +49,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,6 +61,8 @@ import (
 	"hcapp/internal/cluster"
 	"hcapp/internal/server"
 	"hcapp/internal/sim"
+	"hcapp/internal/telemetry"
+	"hcapp/internal/tracing"
 )
 
 func main() {
@@ -76,6 +84,8 @@ func main() {
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge straggler slices onto a second worker after this latency; 0 adapts to recent latencies, negative disables (coordinator role)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "deterministic fault-injection seed for the cluster transport, 0 = chaos off (coordinator/worker roles; testing only)")
 	chaosProfile := flag.String("chaos-profile", "soak", "fault-injection intensity: light, soak or heavy (with -chaos-seed)")
+	maxTraces := flag.Int("max-traces", 0, "retained span-tree table size behind GET /v1/traces, 0 = default 256")
+	pprofOn := flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof/ (CPU/heap/goroutine profiles; off by default)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -112,7 +122,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hcapp-serve: -role worker requires -coordinator URL")
 			os.Exit(2)
 		}
-		runWorker(*addr, *coordinator, *advertise, *workerID, *workers, *drain, inj)
+		runWorker(*addr, *coordinator, *advertise, *workerID, *workers, *drain, inj, *maxTraces, *pprofOn)
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "hcapp-serve: unknown -role %q (valid: standalone, coordinator, worker)\n", *role)
@@ -125,6 +135,7 @@ func main() {
 		MaxDur:     sim.Time(*maxDurMS * float64(sim.Millisecond)),
 		MaxJobs:    *maxJobs,
 		JobTimeout: *jobTimeout,
+		MaxTraces:  *maxTraces,
 	}
 	if *role == "coordinator" {
 		ccfg := cluster.CoordinatorConfig{
@@ -151,6 +162,9 @@ func main() {
 		// faults too; health probes and /metrics stay exempt.
 		handler = inj.Middleware(handler)
 	}
+	// Profiling mounts outside the chaos middleware: profiling a
+	// fault-injected node must not itself take faults.
+	handler = withPprof(handler, *pprofOn)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -187,10 +201,28 @@ func main() {
 	log.Printf("hcapp-serve: drained cleanly")
 }
 
+// withPprof mounts Go's /debug/pprof/ endpoints in front of h when
+// enabled. Opt-in (-pprof) because a CPU profile or execution trace
+// stalls its target for the whole sampling window — not something to
+// leave open on a node serving a fleet.
+func withPprof(h http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // runWorker serves the worker role: a slice-execution HTTP surface plus
 // a register/heartbeat loop against the coordinator. It blocks until
 // SIGTERM/SIGINT and then drains the listener.
-func runWorker(addr, coordinator, advertise, id string, workers int, drain time.Duration, inj *chaos.Injector) {
+func runWorker(addr, coordinator, advertise, id string, workers int, drain time.Duration, inj *chaos.Injector, maxTraces int, pprofOn bool) {
 	if advertise == "" {
 		// A bare ":8081" listen address reaches itself on loopback; a
 		// worker on another host must advertise explicitly.
@@ -200,11 +232,27 @@ func runWorker(addr, coordinator, advertise, id string, workers int, drain time.
 		}
 		advertise = "http://" + host
 	}
+
+	// Workers carry their own observability surface: a registry with the
+	// engine-stage latency histogram and Go runtime gauges, plus a span
+	// store so the node's partial view of each distributed trace is
+	// inspectable in place (the coordinator holds the assembled trees).
+	reg := telemetry.NewRegistry()
+	reg.Gauge("hcapp_build_info",
+		"Build metadata carried in labels; the value is always 1.",
+		"version").With(buildinfo.Version()).Set(1)
+	rt := telemetry.NewRuntimeMetrics(reg)
+	stage := reg.Histogram("hcapp_stage_duration_seconds",
+		"Wall-clock duration of each request-pipeline stage executed on this node.",
+		telemetry.DefBuckets(), "stage")
+	tracer := tracing.New(tracing.Config{MaxTraces: maxTraces, Stages: stage})
+
 	wcfg := cluster.WorkerConfig{
 		ID:            id,
 		Coordinator:   coordinator,
 		AdvertiseAddr: advertise,
 		Workers:       workers,
+		Tracer:        tracer,
 	}
 	if inj != nil {
 		// Give every worker its own schedule keyed by its stable fleet
@@ -214,6 +262,7 @@ func runWorker(addr, coordinator, advertise, id string, workers int, drain time.
 			node = advertise
 		}
 		inj = inj.ForNode(node)
+		inj.WithMetrics(chaos.NewMetrics(reg))
 		wcfg.Client = &http.Client{Timeout: 10 * time.Second, Transport: inj.RoundTripper(nil)}
 		log.Printf("hcapp-serve: chaos enabled on worker %s — testing only", node)
 	}
@@ -223,6 +272,18 @@ func runWorker(addr, coordinator, advertise, id string, workers int, drain time.
 	if inj != nil {
 		handler = inj.Middleware(handler)
 	}
+	// Observability endpoints mount outside the chaos middleware, like
+	// the coordinator's: scrapes and trace reads must stay clean while
+	// the transport under test is being perturbed.
+	render := reg.Handler()
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	mux.Handle("/v1/traces", tracing.Handler(tracer))
+	mux.Handle("/metrics", http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rt.Refresh()
+		render.ServeHTTP(rw, r)
+	}))
+	handler = withPprof(mux, pprofOn)
 	httpSrv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,

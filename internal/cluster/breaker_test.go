@@ -249,10 +249,21 @@ func TestHedgeDisabled(t *testing.T) {
 }
 
 // TestHedgeDelayAdaptive: with no configured threshold the delay tracks
-// 2× the p90 of observed slice latencies, floored at 500 ms, and falls
-// back to a generous default until enough samples exist.
+// 2× the p90 of the shared slice-duration histogram (the same series
+// /metrics exports), floored at 500 ms, and falls back to a generous
+// default until enough samples exist — or when no metrics are attached
+// at all.
 func TestHedgeDelayAdaptive(t *testing.T) {
-	c := NewCoordinator(CoordinatorConfig{Logf: t.Logf})
+	bare := NewCoordinator(CoordinatorConfig{Logf: t.Logf})
+	for i := 0; i < 64; i++ {
+		bare.observeSliceLatency(100 * time.Millisecond)
+	}
+	if d := bare.hedgeDelay(); d != 2*time.Second {
+		t.Fatalf("hedgeDelay() = %v without metrics, want 2s default", d)
+	}
+
+	c := NewCoordinator(CoordinatorConfig{Logf: t.Logf}).
+		WithMetrics(NewMetrics(telemetry.NewRegistry()))
 	if d := c.hedgeDelay(); d != 2*time.Second {
 		t.Fatalf("cold hedgeDelay() = %v, want 2s default", d)
 	}
@@ -265,7 +276,9 @@ func TestHedgeDelayAdaptive(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		c.observeSliceLatency(time.Second)
 	}
-	if d := c.hedgeDelay(); d != 2*time.Second {
-		t.Fatalf("hedgeDelay() = %v with 1s latencies, want 2s (2×p90)", d)
+	// The 1 s samples dominate: the interpolated p90 sits high in the
+	// (0.5s, 1s] bucket, so the threshold lands a bit under 2×1s.
+	if d := c.hedgeDelay(); d < 1500*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("hedgeDelay() = %v with 1s latencies, want ~2×p90 in (1.5s, 2s]", d)
 	}
 }

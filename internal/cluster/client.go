@@ -14,6 +14,7 @@ import (
 	"hcapp/internal/config"
 	"hcapp/internal/experiment"
 	"hcapp/internal/sim"
+	"hcapp/internal/tracing"
 )
 
 // randomID returns a 12-hex-digit random id (worker identities).
@@ -150,6 +151,12 @@ func (c *Client) runOnce(ctx context.Context, body []byte, n int) (_ *RunRespons
 		return nil, false, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// A traced submitting context rides the wire, so the coordinator
+	// parents its batch under the caller's span instead of opening a
+	// fresh root.
+	if _, sc, ok := tracing.FromContext(ctx); ok {
+		tracing.Inject(req.Header, sc)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, true, 0, err

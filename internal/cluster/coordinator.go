@@ -11,6 +11,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"hcapp/internal/tracing"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -106,6 +108,7 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 type Coordinator struct {
 	cfg     CoordinatorConfig
 	metrics *Metrics
+	tracer  *tracing.Tracer
 	limiter *Limiter
 	sem     *prioSem
 	now     func() time.Time
@@ -115,12 +118,6 @@ type Coordinator struct {
 	cache      map[string]ItemResult
 	cacheOrder []string
 	inflight   map[string]*flight
-
-	// latMu guards the recent-slice-latency ring the adaptive hedge
-	// threshold derives from.
-	latMu sync.Mutex
-	lat   [64]time.Duration
-	latN  int
 }
 
 type workerState struct {
@@ -163,6 +160,15 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 // WithMetrics attaches the cluster telemetry families.
 func (c *Coordinator) WithMetrics(m *Metrics) *Coordinator {
 	c.metrics = m
+	return c
+}
+
+// WithTracer attaches the span store batches record into. Span
+// *emission* is driven by the submitting context (a batch whose context
+// carries no trace context stays untraced); the tracer is where
+// coordinator-side spans and ingested worker spans land.
+func (c *Coordinator) WithTracer(t *tracing.Tracer) *Coordinator {
+	c.tracer = t
 	return c
 }
 
@@ -293,10 +299,57 @@ func (c *Coordinator) RunBatch(ctx context.Context, req RunRequest) (*RunRespons
 // leaderItem is one item this batch must actually get simulated (cache
 // miss, no other flight in progress).
 type leaderItem struct {
-	idx  int
-	key  string
-	item Item
-	f    *flight
+	idx   int
+	key   string
+	item  Item
+	f     *flight
+	trace *itemTrace
+}
+
+// itemTrace is the tracing state of one batch item: the item span plus
+// an attempt counter, so retries and hedges land as sibling attempt[n]
+// spans under one parent instead of orphans. A nil *itemTrace no-ops,
+// which is how untraced batches skip all span work.
+type itemTrace struct {
+	tr   *tracing.Tracer
+	span *tracing.ActiveSpan
+
+	mu       sync.Mutex
+	attempts int
+	done     bool
+}
+
+// newAttempt opens the next attempt[n] span; kind is "primary" or
+// "hedge". The returned context travels to the worker inside the item.
+func (it *itemTrace) newAttempt(worker, kind string) (*tracing.ActiveSpan, *tracing.SpanContext) {
+	if it == nil {
+		return nil, nil
+	}
+	it.mu.Lock()
+	n := it.attempts
+	it.attempts++
+	it.mu.Unlock()
+	sp := it.tr.StartSpan(it.span.Context(), fmt.Sprintf("attempt[%d]", n))
+	sp.SetAttr("worker", worker).SetAttr("kind", kind)
+	sc := sp.Context()
+	if !sc.Valid() {
+		return sp, nil
+	}
+	return sp, &sc
+}
+
+// finish ends the item span once; later outcomes are ignored.
+func (it *itemTrace) finish(outcome string) {
+	if it == nil {
+		return
+	}
+	it.mu.Lock()
+	already := it.done
+	it.done = true
+	it.mu.Unlock()
+	if !already {
+		it.span.SetAttr("outcome", outcome).End()
+	}
 }
 
 // Execute runs a batch to completion: resolve every item against the
@@ -320,6 +373,32 @@ func (c *Coordinator) Execute(ctx context.Context, req RunRequest) (*RunResponse
 		keys[i] = k
 	}
 	c.metrics.addItems(len(req.Items))
+
+	// Item spans exist only when the submitting context is traced. Slice
+	// assignment and worker identity are span attributes, never tree
+	// nodes, so the span-tree structure is identical at every fleet
+	// width.
+	var itemTraces []*itemTrace
+	if tr, parent, ok := tracing.FromContext(ctx); ok {
+		itemTraces = make([]*itemTrace, len(req.Items))
+		for i := range req.Items {
+			sp := tr.StartSpan(parent, fmt.Sprintf("item[%d]", i))
+			itemTraces[i] = &itemTrace{tr: tr, span: sp}
+		}
+		defer func() {
+			// Anything still open on the way out was cut short by
+			// cancellation or a sibling item's failure.
+			for _, it := range itemTraces {
+				it.finish("cancelled")
+			}
+		}()
+	}
+	itemTraceAt := func(i int) *itemTrace {
+		if itemTraces == nil {
+			return nil
+		}
+		return itemTraces[i]
+	}
 
 	resp := &RunResponse{Results: make([]ItemResult, len(req.Items))}
 	type idxErr struct {
@@ -347,15 +426,19 @@ func (c *Coordinator) Execute(ctx context.Context, req RunRequest) (*RunResponse
 			if r, ok := c.cache[key]; ok {
 				resp.Results[i] = r
 				resp.CacheHits++
+				itemTraceAt(i).finish("cache-hit")
 				continue
 			}
 			if f, ok := c.inflight[key]; ok {
-				waiters = append(waiters, leaderItem{idx: i, key: key, f: f})
+				if it := itemTraceAt(i); it != nil {
+					it.span.SetAttr("coalesced", "true")
+				}
+				waiters = append(waiters, leaderItem{idx: i, key: key, f: f, trace: itemTraceAt(i)})
 				continue
 			}
 			f := &flight{done: make(chan struct{})}
 			c.inflight[key] = f
-			leaders = append(leaders, leaderItem{idx: i, key: key, item: req.Items[i], f: f})
+			leaders = append(leaders, leaderItem{idx: i, key: key, item: req.Items[i], f: f, trace: itemTraceAt(i)})
 		}
 		c.mu.Unlock()
 		c.metrics.addCacheHits(resp.CacheHits - hitsBefore)
@@ -374,6 +457,7 @@ func (c *Coordinator) Execute(ctx context.Context, req RunRequest) (*RunResponse
 			switch {
 			case li.f.err == nil:
 				resp.Results[li.idx] = li.f.res
+				li.trace.finish("ok")
 			case errors.Is(li.f.err, context.Canceled) || errors.Is(li.f.err, context.DeadlineExceeded):
 				// Another batch's cancellation, not a verdict on the
 				// item; retry unless our own context died too.
@@ -382,6 +466,7 @@ func (c *Coordinator) Execute(ctx context.Context, req RunRequest) (*RunResponse
 				}
 				pending = append(pending, li.idx)
 			default:
+				li.trace.finish("error")
 				record(li.idx, li.f.err)
 			}
 		}
@@ -459,6 +544,7 @@ func (c *Coordinator) dispatch(ctx context.Context, params Params, interactive b
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				waitStart := time.Now()
 				if err := c.sem.acquire(ctx, interactive); err != nil {
 					c.breakerAbort(w.ID)
 					mu.Lock()
@@ -466,6 +552,7 @@ func (c *Coordinator) dispatch(ctx context.Context, params Params, interactive b
 					mu.Unlock()
 					return
 				}
+				c.metrics.observeQueueWait(interactive, time.Since(waitStart))
 				defer c.sem.release()
 				results, err := c.hedgedPost(ctx, w, params, slice)
 				if err != nil {
@@ -504,31 +591,50 @@ func (c *Coordinator) hedgedPost(ctx context.Context, primary RegisterRequest, p
 	postCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type outcome struct {
-		w       RegisterRequest
-		results []ItemResult
-		err     error
-		hedge   bool
+		w     RegisterRequest
+		resp  *RunResponse
+		err   error
+		hedge bool
 	}
 	ch := make(chan outcome, 2)
 	post := func(w RegisterRequest, hedge bool) {
+		kind := "primary"
+		if hedge {
+			kind = "hedge"
+		}
+		attempts := make([]*tracing.ActiveSpan, len(slice))
+		refs := make([]*tracing.SpanContext, len(slice))
+		for i, li := range slice {
+			attempts[i], refs[i] = li.trace.newAttempt(w.ID, kind)
+		}
 		start := time.Now()
-		results, err := c.postSlice(postCtx, w, params, slice)
+		resp, err := c.postSlice(postCtx, w, params, slice, refs)
+		var spanOutcome string
 		switch {
 		case err == nil:
+			spanOutcome = "ok"
 			c.noteWorkerResult(w.ID, true)
 			c.observeSliceLatency(time.Since(start))
 		case postCtx.Err() != nil:
 			// Our own cancellation (the batch died or the other post
 			// already won), not a verdict on the worker — but release the
 			// probe slot a half-open breaker may be holding for us.
+			spanOutcome = "cancelled"
 			c.breakerAbort(w.ID)
+			c.metrics.observeSlice("cancelled", time.Since(start))
 		default:
+			spanOutcome = "error"
 			c.cfg.Logf("cluster: worker %s (%s) failed a slice (%d items): %v",
 				w.ID, w.Addr, len(slice), err)
 			c.noteWorkerResult(w.ID, false)
 			c.markDead(w.ID)
+			c.metrics.observeSlice("error", time.Since(start))
 		}
-		ch <- outcome{w: w, results: results, err: err, hedge: hedge}
+		for _, a := range attempts {
+			a.SetAttr("outcome", spanOutcome)
+			a.End()
+		}
+		ch <- outcome{w: w, resp: resp, err: err, hedge: hedge}
 	}
 	go post(primary, false)
 
@@ -548,7 +654,11 @@ func (c *Coordinator) hedgedPost(ctx context.Context, primary RegisterRequest, p
 				if out.hedge {
 					c.metrics.addHedgeWins()
 				}
-				return out.results, nil
+				// Only the winner's worker spans are ingested; a hedge
+				// loser's engine spans (if any completed) are discarded
+				// with its results.
+				c.ingestSpans(slice, out.resp.Spans)
+				return out.resp.Results, nil
 			}
 			if firstErr == nil {
 				firstErr = out.err
@@ -618,18 +728,18 @@ func (c *Coordinator) breakerAbort(id string) {
 	c.mu.Unlock()
 }
 
-// observeSliceLatency feeds the adaptive hedge threshold.
+// observeSliceLatency records one successful slice round-trip into the
+// shared slice-duration histogram — the same series /metrics exports,
+// so the adaptive hedge threshold and the dashboards read one dataset.
 func (c *Coordinator) observeSliceLatency(d time.Duration) {
-	c.latMu.Lock()
-	c.lat[c.latN%len(c.lat)] = d
-	c.latN++
-	c.latMu.Unlock()
+	c.metrics.observeSlice("ok", d)
 }
 
 // hedgeDelay resolves the hedge threshold: the configured HedgeAfter
 // when set, 0 (disabled) when negative, otherwise adaptively 2× the
-// p90 of recent slice latencies — hedging targets stragglers, not the
-// ordinary tail.
+// p90 of successful slice latencies — hedging targets stragglers, not
+// the ordinary tail. With no metrics attached or too few observations
+// there is no signal, so the threshold stays conservative.
 func (c *Coordinator) hedgeDelay() time.Duration {
 	if c.cfg.HedgeAfter > 0 {
 		return c.cfg.HedgeAfter
@@ -637,32 +747,49 @@ func (c *Coordinator) hedgeDelay() time.Duration {
 	if c.cfg.HedgeAfter < 0 {
 		return 0
 	}
-	c.latMu.Lock()
-	n := c.latN
-	if n > len(c.lat) {
-		n = len(c.lat)
-	}
-	sample := make([]time.Duration, n)
-	copy(sample, c.lat[:n])
-	c.latMu.Unlock()
-	if n < 8 {
+	count, p90 := c.metrics.sliceOKStats()
+	if count < 8 {
 		// Too little signal to call anything a straggler yet.
 		return 2 * time.Second
 	}
-	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
-	d := 2 * sample[n*9/10]
+	d := time.Duration(2 * p90 * float64(time.Second))
 	if min := 500 * time.Millisecond; d < min {
 		d = min
 	}
 	return d
 }
 
-// postSlice ships one slice to one worker and returns its index-aligned
-// results.
-func (c *Coordinator) postSlice(ctx context.Context, w RegisterRequest, params Params, slice []leaderItem) ([]ItemResult, error) {
+// ingestSpans lands a worker's engine spans in the tracer. The spans
+// arrive already parented to this coordinator's attempt spans, so no
+// reconciliation is needed; ingestion does not re-feed the stage
+// histogram (the worker observed them on its own node).
+func (c *Coordinator) ingestSpans(slice []leaderItem, spans []tracing.Span) {
+	if len(spans) == 0 {
+		return
+	}
+	t := c.tracer
+	if t == nil {
+		for _, li := range slice {
+			if li.trace != nil {
+				t = li.trace.tr
+				break
+			}
+		}
+	}
+	t.Ingest(spans)
+}
+
+// postSlice ships one slice to one worker and returns its reply. refs
+// (when tracing) carries each item's attempt span context to the
+// worker; the batch's trace identity additionally rides a traceparent
+// header, so any HTTP hop in between can follow the trace.
+func (c *Coordinator) postSlice(ctx context.Context, w RegisterRequest, params Params, slice []leaderItem, refs []*tracing.SpanContext) (*RunResponse, error) {
 	items := make([]Item, len(slice))
 	for i, li := range slice {
 		items[i] = li.item
+		if refs[i] != nil {
+			items[i].Trace = refs[i]
+		}
 	}
 	body, err := json.Marshal(RunRequest{Params: params, Items: items})
 	if err != nil {
@@ -673,6 +800,9 @@ func (c *Coordinator) postSlice(ctx context.Context, w RegisterRequest, params P
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if _, sc, ok := tracing.FromContext(ctx); ok {
+		tracing.Inject(req.Header, sc)
+	}
 	hr, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return nil, err
@@ -688,7 +818,7 @@ func (c *Coordinator) postSlice(ctx context.Context, w RegisterRequest, params P
 	if len(resp.Results) != len(slice) {
 		return nil, fmt.Errorf("worker %s: %d results for %d items", w.ID, len(resp.Results), len(slice))
 	}
-	return resp.Results, nil
+	return &resp, nil
 }
 
 // resolve finishes one flight: successful results enter the fleet cache
@@ -799,7 +929,23 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid run request: %v", err)
 		return
 	}
-	resp, err := c.RunBatch(r.Context(), req)
+	// A caller that already opened a trace (hcapp-serve's job manager, a
+	// remote client) propagates it via the traceparent header; otherwise
+	// the batch gets its own root span so direct API batches are traced
+	// too.
+	ctx := r.Context()
+	var root *tracing.ActiveSpan
+	if c.tracer != nil {
+		if sc, ok := tracing.Extract(r.Header); ok {
+			ctx = tracing.ContextWith(ctx, c.tracer, sc)
+		} else {
+			root = c.tracer.StartRoot("batch", "", randomID())
+			root.SetAttr("tenant", req.Tenant).SetAttr("items", fmt.Sprintf("%d", len(req.Items)))
+			ctx = tracing.ContextWith(ctx, c.tracer, root.Context())
+		}
+	}
+	resp, err := c.RunBatch(ctx, req)
+	root.SetAttr("outcome", tracing.Outcome(err)).End()
 	switch {
 	case errors.Is(err, ErrThrottled):
 		w.Header().Set("Retry-After", "1")

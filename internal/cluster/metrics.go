@@ -1,6 +1,10 @@
 package cluster
 
-import "hcapp/internal/telemetry"
+import (
+	"time"
+
+	"hcapp/internal/telemetry"
+)
 
 // Metrics is the coordinator's telemetry family set; docs/METRICS.md
 // catalogues every series.
@@ -14,6 +18,8 @@ type Metrics struct {
 	breakerTrips    *telemetry.Counter
 	hedged          *telemetry.Counter
 	hedgeWins       *telemetry.Counter
+	sliceSeconds    *telemetry.HistogramVec // outcome
+	queueWait       *telemetry.HistogramVec // class
 }
 
 // NewMetrics registers the cluster families on a registry.
@@ -37,6 +43,12 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Batch items re-issued to a second live worker after the hedge latency threshold.").With(),
 		hedgeWins: reg.Counter("hcapp_cluster_hedge_wins_total",
 			"Hedged slices where the hedge returned before the primary worker.").With(),
+		sliceSeconds: reg.Histogram("hcapp_cluster_slice_duration_seconds",
+			"Wall-clock duration of one slice post to a worker, by outcome (ok, error, cancelled). The ok series also drives the adaptive hedge threshold.",
+			telemetry.DefBuckets(), "outcome"),
+		queueWait: reg.Histogram("hcapp_queue_wait_seconds",
+			"Time a dispatch slice waited for a fleet execution slot, by priority class.",
+			telemetry.DefBuckets(), "class"),
 	}
 }
 
@@ -86,6 +98,34 @@ func (m *Metrics) addHedgeWins() {
 	if m != nil {
 		m.hedgeWins.Inc()
 	}
+}
+
+func (m *Metrics) observeSlice(outcome string, d time.Duration) {
+	if m != nil {
+		m.sliceSeconds.With(outcome).Observe(d.Seconds())
+	}
+}
+
+func (m *Metrics) observeQueueWait(interactive bool, d time.Duration) {
+	if m != nil {
+		class := PriorityBatch
+		if interactive {
+			class = PriorityInteractive
+		}
+		m.queueWait.With(class).Observe(d.Seconds())
+	}
+}
+
+// sliceOKStats snapshots the successful-slice series: observation count
+// and estimated p90 in seconds. The adaptive hedge threshold reads it,
+// so /metrics and the hedging decision can never disagree about fleet
+// latency.
+func (m *Metrics) sliceOKStats() (count, p90 float64) {
+	if m == nil {
+		return 0, 0
+	}
+	h := m.sliceSeconds.With("ok")
+	return h.Count(), h.Quantile(0.9)
 }
 
 func (m *Metrics) throttled(tenant string) {

@@ -26,6 +26,7 @@ import (
 	"hcapp/internal/experiment"
 	"hcapp/internal/noc"
 	"hcapp/internal/sim"
+	"hcapp/internal/tracing"
 )
 
 // Priority classes. Interactive work (hcapp-serve jobs submitted by a
@@ -137,6 +138,12 @@ type ScalingCell struct {
 type Item struct {
 	Spec    *Spec        `json:"spec,omitempty"`
 	Scaling *ScalingCell `json:"scaling,omitempty"`
+	// Trace is the coordinator-side attempt span this item executes
+	// under; the worker derives its engine span's id from it, so the
+	// span tree assembles across processes without reconciliation.
+	// Deliberately excluded from the item's content-address (key):
+	// tracing identity must never change what counts as the same work.
+	Trace *tracing.SpanContext `json:"trace,omitempty"`
 }
 
 // ItemResult is one slot of a batch response: exactly one of Result or
@@ -276,6 +283,10 @@ type RunResponse struct {
 	// CacheHits counts items served from the fleet cache (coordinator
 	// responses only).
 	CacheHits int `json:"cache_hits"`
+	// Spans carries the worker's engine spans back to the coordinator
+	// (worker responses only; already parented under the request's
+	// per-item attempt contexts).
+	Spans []tracing.Span `json:"spans,omitempty"`
 }
 
 // WorkerInfo is one row of GET /v1/cluster/workers.

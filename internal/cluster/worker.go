@@ -8,11 +8,14 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"hcapp/internal/config"
 	"hcapp/internal/experiment"
+	"hcapp/internal/tracing"
 )
 
 // WorkerConfig parameterizes one fleet worker.
@@ -35,6 +38,11 @@ type WorkerConfig struct {
 	Backoff Backoff
 	// Logf receives operational events; nil means log.Printf.
 	Logf func(format string, args ...any)
+	// Tracer records engine spans for items that arrive with trace
+	// context. Spans both land in this worker's local store (its own
+	// /v1/traces shows what it executed) and travel back to the
+	// coordinator in the slice response. Nil disables worker-side spans.
+	Tracer *tracing.Tracer
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -237,40 +245,70 @@ func (w *Worker) RunSlice(ctx context.Context, params Params, items []Item) (*Ru
 	// fleet-cache hit — usable for coordinator-side chargeback no matter
 	// which client's request populated the cache.
 	ev.TrackEnergy = true
+	var spanMu sync.Mutex
 	err := w.runner.Tasks(ctx, len(items), func(ctx context.Context, i int) error {
-		resp.Results[i] = w.runItem(ctx, ev, params, items[i], i)
+		res, span := w.runItem(ctx, ev, params, items[i], i)
+		resp.Results[i] = res
+		if span.SpanID != "" {
+			spanMu.Lock()
+			resp.Spans = append(resp.Spans, span)
+			spanMu.Unlock()
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Stable order regardless of pool scheduling: responses stay
+	// byte-comparable across runs.
+	sort.Slice(resp.Spans, func(a, b int) bool { return resp.Spans[a].Path < resp.Spans[b].Path })
 	return resp, nil
 }
 
-func (w *Worker) runItem(ctx context.Context, ev *experiment.Evaluator, params Params, it Item, idx int) (out ItemResult) {
+func (w *Worker) runItem(ctx context.Context, ev *experiment.Evaluator, params Params, it Item, idx int) (out ItemResult, engSpan tracing.Span) {
+	var eng *tracing.ActiveSpan
+	if w.cfg.Tracer != nil && it.Trace != nil && it.Trace.Valid() {
+		eng = w.cfg.Tracer.StartSpan(*it.Trace, "engine")
+		eng.SetAttr("worker", w.cfg.ID)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			w.cfg.Logf("cluster: worker %s: item %d panicked: %v\n%s", w.cfg.ID, idx, r, debug.Stack())
 			out = ItemResult{Error: fmt.Sprintf("panic: %v", r)}
+		}
+		if eng != nil {
+			outcome := "ok"
+			if out.Error != "" {
+				outcome = "error"
+			}
+			eng.SetAttr("outcome", outcome)
+			if out.Result != nil {
+				eng.SetAttr("sim_ns", fmt.Sprintf("%d", int64(out.Result.DurationNS)))
+				eng.SetAttr("control_cycles", fmt.Sprintf("%d", out.Result.ControlCycles))
+			}
+			engSpan = eng.End()
 		}
 	}()
 	switch {
 	case it.Spec != nil && it.Scaling == nil:
 		spec, err := it.Spec.RunSpec()
 		if err != nil {
-			return ItemResult{Error: err.Error()}
+			out = ItemResult{Error: err.Error()}
+			return
 		}
 		res, err := ev.RunContext(ctx, spec)
 		if err != nil {
-			return ItemResult{Error: err.Error()}
+			out = ItemResult{Error: err.Error()}
+			return
 		}
 		r := ResultOf(res)
-		return ItemResult{Result: &r}
+		out = ItemResult{Result: &r}
 	case it.Scaling != nil && it.Spec == nil:
-		return runScalingItem(ctx, *it.Scaling)
+		out = runScalingItem(ctx, *it.Scaling)
 	default:
-		return ItemResult{Error: "item must set exactly one of spec, scaling"}
+		out = ItemResult{Error: "item must set exactly one of spec, scaling"}
 	}
+	return
 }
 
 // runScalingItem rebuilds the sweep-cell inputs and simulates it.

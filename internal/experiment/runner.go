@@ -3,11 +3,13 @@ package experiment
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"hcapp/internal/telemetry"
+	"hcapp/internal/tracing"
 )
 
 // Runner fans experiment work across a bounded worker pool. The suite
@@ -68,7 +70,10 @@ func (r *Runner) Tasks(ctx context.Context, n int, task func(ctx context.Context
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := r.observe(func() error { return task(ctx, i) }); err != nil {
+			tctx, finish := traceTask(ctx, i)
+			err := r.observe(func() error { return task(tctx, i) })
+			finish(err)
+			if err != nil {
 				return err
 			}
 		}
@@ -113,7 +118,10 @@ func (r *Runner) Tasks(ctx context.Context, n int, task func(ctx context.Context
 			if ctx.Err() != nil {
 				return
 			}
-			if err := r.observe(func() error { return task(ctx, i) }); err != nil {
+			tctx, finish := traceTask(ctx, i)
+			err := r.observe(func() error { return task(tctx, i) })
+			finish(err)
+			if err != nil {
 				record(i, err)
 			}
 		}(i)
@@ -142,6 +150,21 @@ func (r *Runner) RunSpecs(ctx context.Context, ev *Evaluator, specs []RunSpec) (
 		return nil, err
 	}
 	return out, nil
+}
+
+// traceTask opens the item[i] span for one pool task when — and only
+// when — the batch context carries trace context; untraced batches (the
+// common CLI path) pay two nil checks. The task runs under the item
+// span's context, so anything it submits downstream parents correctly.
+func traceTask(ctx context.Context, i int) (context.Context, func(error)) {
+	tr, parent, ok := tracing.FromContext(ctx)
+	if !ok {
+		return ctx, func(error) {}
+	}
+	sp := tr.StartSpan(parent, fmt.Sprintf("item[%d]", i))
+	return tracing.ContextWith(ctx, tr, sp.Context()), func(err error) {
+		sp.SetAttr("outcome", tracing.Outcome(err)).End()
+	}
 }
 
 // observe wraps one task execution with the runner's telemetry.

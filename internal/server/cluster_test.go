@@ -14,6 +14,7 @@ import (
 	"hcapp/internal/cluster"
 	"hcapp/internal/experiment"
 	"hcapp/internal/telemetry"
+	"hcapp/internal/tracing"
 )
 
 // logCapture is a concurrency-safe Logf sink (simulations log from
@@ -81,7 +82,7 @@ func TestPanicLogsStack(t *testing.T) {
 	})
 
 	var ev *experiment.Evaluator // nil evaluator panics inside the task
-	_, err := s.Manager().simulate(context.Background(), ev, experiment.RunSpec{}, "job-under-test")
+	_, err := s.Manager().simulate(context.Background(), ev, experiment.RunSpec{}, "job-under-test", nil)
 	if err == nil {
 		t.Fatal("panicking simulation returned nil error")
 	}
@@ -106,6 +107,9 @@ func startFleetWorker(t *testing.T, coordURL, id string) {
 		AdvertiseAddr: "http://" + ts.Listener.Addr().String(),
 		Workers:       2,
 		Logf:          t.Logf,
+		// Production workers always carry a tracer; without one the
+		// worker ships no engine spans and fleet traces lose a level.
+		Tracer: tracing.New(tracing.Config{}),
 	})
 	ts.Config.Handler = w.Handler()
 	ts.Start()

@@ -22,6 +22,7 @@ import (
 	"hcapp/internal/config"
 	"hcapp/internal/experiment"
 	"hcapp/internal/sim"
+	"hcapp/internal/tracing"
 )
 
 // JobState is a job's lifecycle phase.
@@ -125,6 +126,14 @@ type Job struct {
 	ended   time.Time
 
 	trace *traceBuffer
+
+	// span/qspan are the job's root and queue-wait tracing spans (nil
+	// when the server has no tracer). Created in Submit before the job
+	// enters the queue; the worker goroutine that dequeues the job ends
+	// them — the queue send is the happens-before edge, and ActiveSpans
+	// are single-owner, so no lock is needed.
+	span  *tracing.ActiveSpan
+	qspan *tracing.ActiveSpan
 }
 
 // JobStatus is the GET /v1/jobs/{id} body.

@@ -13,7 +13,9 @@ import (
 	"hcapp/internal/cluster"
 	"hcapp/internal/config"
 	"hcapp/internal/experiment"
+	"hcapp/internal/sched"
 	"hcapp/internal/sim"
+	"hcapp/internal/tracing"
 )
 
 // ErrQueueFull is returned by Submit when the job queue is at capacity —
@@ -43,7 +45,9 @@ type Manager struct {
 	// cluster, when non-nil, is the coordinator jobs delegate to instead
 	// of simulating on the local runner (hcapp-serve -role coordinator).
 	cluster *cluster.Coordinator
-	logf    func(format string, args ...any)
+	// tracer records every job's span tree (nil disables tracing).
+	tracer *tracing.Tracer
+	logf   func(format string, args ...any)
 
 	queue chan *Job
 
@@ -69,6 +73,7 @@ func NewManager(cfg Config, m *metrics) *Manager {
 		metrics: m,
 		runner:  experiment.NewRunner(cfg.Workers).WithMetrics(m.runner),
 		cluster: cfg.Cluster,
+		tracer:  cfg.Tracer,
 		logf:    logf,
 		queue:   make(chan *Job, cfg.QueueDepth),
 		jobs:    make(map[string]*Job),
@@ -127,6 +132,13 @@ func (mgr *Manager) Submit(req JobRequest) (*Job, error) {
 		created: time.Now(),
 		trace:   newTraceBuffer(stepsPerSample, mgr.cfg.MaxTraceSamples),
 	}
+	// Spans exist before the queue send: the worker goroutine that
+	// dequeues the job ends them, and the channel send is the
+	// happens-before edge. The trace id derives from the job id, so
+	// GET /v1/traces?job={id} finds the tree without an index.
+	j.span = mgr.tracer.StartRoot("job", j.id, j.id)
+	j.span.SetAttr("combo", req.Combo).SetAttr("tenant", req.Tenant)
+	j.qspan = mgr.tracer.StartSpan(j.span.Context(), "queue-wait")
 
 	// The whole admission — draining check, capacity check, table insert
 	// — happens under mgr.mu, making it atomic with respect to
@@ -139,6 +151,8 @@ func (mgr *Manager) Submit(req JobRequest) (*Job, error) {
 	if mgr.draining {
 		mgr.mu.Unlock()
 		mgr.metrics.jobsRejected.Inc()
+		j.qspan.End()
+		j.span.SetAttr("outcome", "rejected").End()
 		return nil, ErrShuttingDown
 	}
 	select {
@@ -146,6 +160,8 @@ func (mgr *Manager) Submit(req JobRequest) (*Job, error) {
 	default:
 		mgr.mu.Unlock()
 		mgr.metrics.jobsRejected.Inc()
+		j.qspan.End()
+		j.span.SetAttr("outcome", "rejected").End()
 		return nil, ErrQueueFull
 	}
 	mgr.jobs[j.id] = j
@@ -235,11 +251,20 @@ func (mgr *Manager) runJob(j *Job) {
 		mgr.metrics.jobSeconds.Observe(time.Since(start).Seconds())
 	}()
 
+	// The queue wait ends the moment a worker picks the job up; server
+	// jobs are always the interactive class (fleet batch sweeps enter
+	// through the coordinator API instead).
+	j.qspan.SetAttr("class", "interactive").End()
+	run := mgr.tracer.StartSpan(j.span.Context(), "run")
+
 	ctx := context.Background()
 	if mgr.cfg.JobTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, mgr.cfg.JobTimeout)
 		defer cancel()
+	}
+	if run != nil {
+		ctx = tracing.ContextWith(ctx, mgr.tracer, run.Context())
 	}
 
 	var res experiment.RunResult
@@ -273,9 +298,8 @@ func (mgr *Manager) runJob(j *Job) {
 			info.target = experiment.TargetPowerFor(j.spec.Limit)
 		}
 		obs := mgr.metrics.newJobObserver(j, info)
-		ev.Observer = obs
 
-		res, err = mgr.simulate(ctx, ev, j.spec, j.id)
+		res, err = mgr.simulate(ctx, ev, j.spec, j.id, obs)
 		obs.flush()
 	}
 
@@ -294,7 +318,11 @@ func (mgr *Manager) runJob(j *Job) {
 		j.state = StateDone
 		j.result = resultFromRun(res)
 	}
+	state := j.state
 	j.mu.Unlock()
+
+	run.SetAttr("outcome", tracing.Outcome(err)).End()
+	j.span.SetAttr("state", string(state)).SetAttr("outcome", tracing.Outcome(err)).End()
 
 	if err != nil {
 		mgr.metrics.jobsCompleted.With(string(StateFailed)).Inc()
@@ -339,15 +367,36 @@ func (p panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
 // The stack is logged exactly once here, tagged with the job id —
 // hcapp_jobs_failed_total{reason="panic"} counts the event, but only
 // the log carries enough to debug it.
-func (mgr *Manager) simulate(ctx context.Context, ev *experiment.Evaluator, spec experiment.RunSpec, jobID string) (experiment.RunResult, error) {
+func (mgr *Manager) simulate(ctx context.Context, ev *experiment.Evaluator, spec experiment.RunSpec, jobID string, obs *jobObserver) (experiment.RunResult, error) {
 	var res experiment.RunResult
 	err := mgr.runner.Tasks(ctx, 1, func(ctx context.Context, _ int) (err error) {
+		// The runner already opened item[0] under the run span; this task
+		// adds attempt[0] and the engine span (fed by an EngineObserver on
+		// the observer tee), so a standalone tree is shape-identical to a
+		// fleet tree where a worker executed the engine stage.
+		var attempt *tracing.ActiveSpan
+		var engObs *tracing.EngineObserver
+		// The recover installs before anything dereferences ev: a nil
+		// evaluator must fail as a contained panic, not unwind the pool.
 		defer func() {
 			if r := recover(); r != nil {
 				mgr.logf("hcapp-serve: job %s panicked: %v\n%s", jobID, r, debug.Stack())
 				err = panicError{val: r}
 			}
+			engObs.Finish(err)
+			attempt.SetAttr("outcome", tracing.Outcome(err)).End()
 		}()
+		var tee []sched.StepObserver
+		if obs != nil {
+			tee = append(tee, obs)
+		}
+		if tr, parent, ok := tracing.FromContext(ctx); ok {
+			attempt = tr.StartSpan(parent, "attempt[0]")
+			attempt.SetAttr("worker", "local").SetAttr("kind", "primary")
+			engObs = tracing.NewEngineObserver(tr.StartSpan(attempt.Context(), "engine"))
+			tee = append(tee, engObs)
+		}
+		ev.Observer = sched.Observers(tee...)
 		res, err = ev.RunContext(ctx, spec)
 		return err
 	})

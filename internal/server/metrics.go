@@ -35,6 +35,14 @@ type metrics struct {
 
 	httpRequests *telemetry.CounterVec // handler
 
+	// stageSeconds is the request-pipeline latency histogram the tracer
+	// feeds: every locally finished span observes its duration under its
+	// stage name (job, queue-wait, run, item, attempt, engine, batch).
+	stageSeconds *telemetry.HistogramVec // stage
+	// rt republishes Go runtime health (goroutines, heap, GC) at scrape
+	// time.
+	rt *telemetry.RuntimeMetrics
+
 	// runner is the experiment scheduler's family set (per-run duration
 	// histogram, in-flight and queue-depth gauges), shared by the job
 	// workers' runner so /metrics reports suite progress.
@@ -89,6 +97,10 @@ func newMetrics() *metrics {
 			"The global controller's power target (PSPEC).", "job"),
 		httpRequests: reg.Counter("hcapp_http_requests_total",
 			"API requests served.", "handler"),
+		stageSeconds: reg.Histogram("hcapp_stage_duration_seconds",
+			"Wall-clock duration of each request-pipeline stage (job, queue-wait, run, item, attempt, engine, batch), fed by the tracer's locally finished spans.",
+			telemetry.DefBuckets(), "stage"),
+		rt:     telemetry.NewRuntimeMetrics(reg),
 		runner: experiment.NewRunnerMetrics(reg),
 		energy: energy.NewCollector(reg, energy.CollectorConfig{}),
 	}

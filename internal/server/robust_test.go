@@ -82,7 +82,7 @@ func TestPanicContainedAndClassified(t *testing.T) {
 	// A nil evaluator panics inside the simulate frame; the recover must
 	// convert it into a job error instead of unwinding the worker.
 	var ev *experiment.Evaluator
-	_, err := mgr.simulate(context.Background(), ev, experiment.RunSpec{}, "test-job")
+	_, err := mgr.simulate(context.Background(), ev, experiment.RunSpec{}, "test-job", nil)
 	if err == nil {
 		t.Fatal("panicking simulation returned nil error")
 	}

@@ -12,6 +12,7 @@ import (
 	"hcapp/internal/chaos"
 	"hcapp/internal/cluster"
 	"hcapp/internal/sim"
+	"hcapp/internal/tracing"
 )
 
 // Config sizes the service.
@@ -33,6 +34,12 @@ type Config struct {
 	TraceSampleEvery sim.Time
 	// MaxTraceSamples bounds each job's trace buffer (default 65536).
 	MaxTraceSamples int
+	// MaxTraces bounds the span store behind GET /v1/traces (default
+	// 256 traces, FIFO eviction; see docs/TRACING.md).
+	MaxTraces int
+	// Tracer overrides the span store (tests); nil builds one sized by
+	// MaxTraces and wired to the hcapp_stage_duration_seconds histogram.
+	Tracer *tracing.Tracer
 	// SimTimeStep overrides the engine timestep used to size trace
 	// buckets; leave zero for the default system's 100 ns.
 	SimTimeStep sim.Time
@@ -94,6 +101,9 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := newMetrics()
+	if cfg.Tracer == nil {
+		cfg.Tracer = tracing.New(tracing.Config{MaxTraces: cfg.MaxTraces, Stages: m.stageSeconds})
+	}
 	s := &Server{
 		cfg:     cfg,
 		manager: NewManager(cfg, m),
@@ -106,10 +116,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.counted("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/readyz", s.counted("readyz", s.handleReadyz))
 	s.mux.Handle("/metrics", s.countedHandler("metrics", s.metricsHandler()))
+	s.mux.Handle("/v1/traces", s.countedHandler("traces", tracing.Handler(cfg.Tracer)))
 	if cfg.Cluster != nil {
 		// The coordinator's telemetry families join the server registry so
-		// one /metrics scrape covers jobs and fleet alike.
-		cfg.Cluster.WithMetrics(cluster.NewMetrics(m.reg))
+		// one /metrics scrape covers jobs and fleet alike — and its spans
+		// land in the same store, so a delegated job reads as one tree.
+		cfg.Cluster.WithMetrics(cluster.NewMetrics(m.reg)).WithTracer(cfg.Tracer)
 		s.mux.Handle("/v1/cluster/", s.countedHandler("cluster", cfg.Cluster.Handler()))
 	}
 	if cfg.Chaos != nil {
@@ -138,11 +150,14 @@ func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
 // metricsHandler refreshes scrape-derived gauges before rendering the
 // registry. Queue depth is read from the live channel here rather than
 // maintained on the enqueue/dequeue paths, where updates race each
-// other (and the rejection path) and let the gauge drift.
+// other (and the rejection path) and let the gauge drift; the Go
+// runtime gauges are read here for the same reason (ReadMemStats costs
+// a brief stop-the-world, so it runs exactly once per scrape).
 func (s *Server) metricsHandler() http.Handler {
 	render := s.metrics.reg.Handler()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.queueDepth.Set(float64(s.manager.QueueLen()))
+		s.metrics.rt.Refresh()
 		render.ServeHTTP(w, r)
 	})
 }

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -114,3 +115,45 @@ func (h *Histogram) Count() float64 { return h.hist.count.Load() }
 
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return h.hist.sum.Load() }
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// counts with the same linear within-bucket interpolation PromQL's
+// histogram_quantile applies, so in-process consumers (the adaptive
+// hedge threshold, the queue-wait ordering test) and dashboards agree
+// on the estimate. It returns NaN on an empty histogram; a quantile
+// landing in the +Inf bucket clamps to the highest finite bound.
+//
+// The snapshot is not atomic across buckets — concurrent Observes can
+// skew a read by a sample, which is noise at the call sites' scale.
+func (h *Histogram) Quantile(q float64) float64 {
+	st := h.hist
+	total := st.count.Load()
+	if total == 0 || math.IsNaN(q) || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	target := q * total
+	cum := 0.0
+	for i := range st.counts {
+		n := st.counts[i].Load()
+		if cum+n < target {
+			cum += n
+			continue
+		}
+		if i == len(st.upper) {
+			// +Inf bucket: no finite upper bound to interpolate toward.
+			if len(st.upper) == 0 {
+				return math.NaN()
+			}
+			return st.upper[len(st.upper)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = st.upper[i-1]
+		}
+		if n == 0 {
+			return st.upper[i]
+		}
+		return lower + (st.upper[i]-lower)*(target-cum)/n
+	}
+	return math.NaN()
+}

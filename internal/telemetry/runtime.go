@@ -1,0 +1,47 @@
+package telemetry
+
+import "runtime"
+
+// RuntimeMetrics publishes Go runtime health — goroutine count, heap
+// occupancy, GC activity — into a registry. The values are refreshed
+// at scrape time (hcapp-serve wraps its /metrics handler with Refresh)
+// rather than on a background ticker: runtime.ReadMemStats costs a
+// brief stop-the-world, so it should run exactly as often as someone
+// is looking, and the reading is exact at every scrape.
+type RuntimeMetrics struct {
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	heapSys    *Gauge
+	gcPause    *Gauge
+	gcCount    *Gauge
+}
+
+// NewRuntimeMetrics registers the runtime families on reg.
+func NewRuntimeMetrics(reg *Registry) *RuntimeMetrics {
+	return &RuntimeMetrics{
+		goroutines: reg.Gauge("hcapp_go_goroutines",
+			"Live goroutines at scrape time.").With(),
+		heapAlloc: reg.Gauge("hcapp_go_heap_alloc_bytes",
+			"Heap bytes allocated and still in use at scrape time.").With(),
+		heapSys: reg.Gauge("hcapp_go_heap_sys_bytes",
+			"Heap bytes obtained from the OS.").With(),
+		gcPause: reg.Gauge("hcapp_go_gc_pause_seconds_total",
+			"Cumulative GC stop-the-world pause time (monotonic).").With(),
+		gcCount: reg.Gauge("hcapp_go_gcs_total",
+			"Completed GC cycles (monotonic).").With(),
+	}
+}
+
+// Refresh re-reads the runtime and republishes every gauge.
+func (m *RuntimeMetrics) Refresh() {
+	if m == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m.goroutines.Set(float64(runtime.NumGoroutine()))
+	m.heapAlloc.Set(float64(ms.HeapAlloc))
+	m.heapSys.Set(float64(ms.HeapSys))
+	m.gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+	m.gcCount.Set(float64(ms.NumGC))
+}

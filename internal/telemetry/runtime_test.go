@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHistogramQuantile: PromQL-compatible linear interpolation, so
+// in-process consumers (the adaptive hedge delay, the queue-wait
+// ordering test) agree with histogram_quantile on dashboards.
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_test_seconds", "test", []float64{0.1, 1, 10}).With()
+
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram quantile = %g, want NaN", got)
+	}
+
+	// 10 samples in (0.1, 1]: the median interpolates halfway through
+	// that bucket's width.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if got, want := h.Quantile(0.5), 0.1+0.9*0.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("p50 = %g, want %g", got, want)
+	}
+	// All samples are ≤ 1, so p100 is that bucket's upper bound.
+	if got := h.Quantile(1); got != 1 {
+		t.Fatalf("p100 = %g, want 1", got)
+	}
+
+	// A quantile landing in +Inf clamps to the highest finite bound.
+	h.Observe(1e6)
+	if got := h.Quantile(0.999); got != 10 {
+		t.Fatalf("+Inf quantile = %g, want clamp to 10", got)
+	}
+
+	for _, q := range []float64{0, -1, 1.5, math.NaN()} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Fatalf("Quantile(%g) = %g, want NaN", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileSkewedMix mirrors the adaptive-hedge scenario:
+// a few fast samples must not drag a p90 dominated by slow ones.
+func TestHistogramQuantileSkewedMix(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("mix_test_seconds", "test", DefBuckets()).With()
+	for i := 0; i < 10; i++ {
+		h.Observe(0.1)
+	}
+	for i := 0; i < 64; i++ {
+		h.Observe(1.0)
+	}
+	p90 := h.Quantile(0.9)
+	if p90 < 0.5 || p90 > 1.0 {
+		t.Fatalf("p90 = %g, want within the slow bucket (0.5, 1.0]", p90)
+	}
+}
+
+// TestRuntimeMetrics: Refresh publishes live runtime gauges into the
+// registry text, and a nil receiver no-ops.
+func TestRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	rt := NewRuntimeMetrics(reg)
+	rt.Refresh()
+
+	samples, err := ParseText(strings.NewReader(reg.Text()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := GatherMap(samples)
+	if got := m["hcapp_go_goroutines"]; got < 1 {
+		t.Fatalf("hcapp_go_goroutines = %g, want >= 1", got)
+	}
+	if got := m["hcapp_go_heap_alloc_bytes"]; got <= 0 {
+		t.Fatalf("hcapp_go_heap_alloc_bytes = %g, want > 0", got)
+	}
+	if got := m["hcapp_go_heap_sys_bytes"]; got <= 0 {
+		t.Fatalf("hcapp_go_heap_sys_bytes = %g, want > 0", got)
+	}
+	if _, ok := m["hcapp_go_gcs_total"]; !ok {
+		t.Fatal("hcapp_go_gcs_total missing from scrape")
+	}
+
+	var nilRT *RuntimeMetrics
+	nilRT.Refresh()
+}

@@ -1,0 +1,102 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the tracer's HTTP surface at GET /v1/traces:
+//
+//	GET /v1/traces                     page retained traces
+//	    ?offset=N&limit=M              paging (limit default 50)
+//	GET /v1/traces?job=<job id>        one job's full span tree (JSON)
+//	GET /v1/traces?trace=<trace id>    one trace by id (JSON)
+//	    &view=structure                canonical text tree instead of
+//	                                   JSON (the CI-diffed form)
+//
+// Both hcapp-serve roles mount it: the coordinator/standalone server
+// (whole job trees) and workers (their locally executed engine spans).
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSONError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			return
+		}
+		q := r.URL.Query()
+		traceID := q.Get("trace")
+		if job := q.Get("job"); job != "" {
+			traceID = TraceIDFor(job)
+		}
+		if traceID != "" {
+			spans, dropped := t.Trace(traceID)
+			if spans == nil {
+				writeJSONError(w, http.StatusNotFound, "no trace %q", traceID)
+				return
+			}
+			if q.Get("view") == "structure" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				fmt.Fprint(w, Structure(spans))
+				return
+			}
+			writeJSONBody(w, traceResponse{TraceID: traceID, Spans: spans, Dropped: dropped})
+			return
+		}
+		offset, ok := intParam(w, q.Get("offset"), 0)
+		if !ok {
+			return
+		}
+		limit, ok := intParam(w, q.Get("limit"), 0)
+		if !ok {
+			return
+		}
+		rows, next := t.Traces(offset, limit)
+		if rows == nil {
+			rows = []TraceSummary{}
+		}
+		writeJSONBody(w, listResponse{Traces: rows, NextOffset: next})
+	})
+}
+
+// traceResponse is the single-trace JSON body.
+type traceResponse struct {
+	TraceID string `json:"trace_id"`
+	Spans   []Span `json:"spans"`
+	// Dropped counts spans lost to the per-trace cap.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// listResponse is the paged listing body; NextOffset is -1 when the
+// listing is exhausted.
+type listResponse struct {
+	Traces     []TraceSummary `json:"traces"`
+	NextOffset int            `json:"next_offset"`
+}
+
+func intParam(w http.ResponseWriter, v string, def int) (int, bool) {
+	if v == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		writeJSONError(w, http.StatusBadRequest, "bad integer parameter %q", v)
+		return 0, false
+	}
+	return n, true
+}
+
+func writeJSONBody(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,74 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func handlerGet(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHandler(t *testing.T) {
+	tr, _ := newTestTracer(Config{})
+	root := tr.StartRoot("job", "job-7", "job-7")
+	tr.StartSpan(root.Context(), "run").End()
+	root.End()
+	h := Handler(tr)
+
+	// Listing.
+	rec := handlerGet(t, h, "/v1/traces")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list status %d", rec.Code)
+	}
+	var list listResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.NextOffset != -1 {
+		t.Fatalf("list = %+v", list)
+	}
+	if list.Traces[0].JobID != "job-7" || list.Traces[0].Spans != 2 {
+		t.Fatalf("row = %+v", list.Traces[0])
+	}
+
+	// Per-job lookup.
+	rec = handlerGet(t, h, "/v1/traces?job=job-7")
+	var tresp traceResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &tresp); err != nil {
+		t.Fatal(err)
+	}
+	if tresp.TraceID != TraceIDFor("job-7") || len(tresp.Spans) != 2 {
+		t.Fatalf("job lookup = %+v", tresp)
+	}
+
+	// By trace id, structure view.
+	rec = handlerGet(t, h, "/v1/traces?trace="+TraceIDFor("job-7")+"&view=structure")
+	if !strings.HasPrefix(rec.Body.String(), "job\n  run\n") {
+		t.Fatalf("structure view:\n%s", rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("structure content type %q", ct)
+	}
+
+	// Errors.
+	if rec := handlerGet(t, h, "/v1/traces?job=nope"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown job status %d", rec.Code)
+	}
+	if rec := handlerGet(t, h, "/v1/traces?offset=x"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad offset status %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/traces", nil)
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d", rec2.Code)
+	}
+}

@@ -1,0 +1,68 @@
+package tracing
+
+import (
+	"fmt"
+
+	"hcapp/internal/sched"
+	"hcapp/internal/sim"
+)
+
+// EngineObserver is the run-level sched.StepObserver: it hangs off the
+// engine's existing observer tee (sched.Observers) and prices each
+// step at two plain field updates, so the engine hot path stays inside
+// the <5% overhead budget (TestTracingStepOverhead). Finish stamps the
+// step count and simulated horizon onto the wrapped engine span and
+// ends it.
+//
+// A nil *EngineObserver is a valid no-op observer, but prefer not
+// attaching it at all when tracing is off — sched.Observers drops
+// untyped nils, not typed ones.
+type EngineObserver struct {
+	steps int64
+	last  sim.Time
+	span  *ActiveSpan
+}
+
+// NewEngineObserver wraps an engine span (usually
+// tracer.StartSpan(attempt, "engine")).
+func NewEngineObserver(span *ActiveSpan) *EngineObserver {
+	return &EngineObserver{span: span}
+}
+
+// ObserveStep implements sched.StepObserver.
+func (o *EngineObserver) ObserveStep(now sim.Time, _ float64, _ []sched.DomainSample) {
+	if o == nil {
+		return
+	}
+	o.steps++
+	o.last = now
+}
+
+// Steps reports observed engine steps (tests).
+func (o *EngineObserver) Steps() int64 {
+	if o == nil {
+		return 0
+	}
+	return o.steps
+}
+
+// Finish ends the engine span with outcome and progress attributes and
+// returns the finished span.
+func (o *EngineObserver) Finish(err error) Span {
+	if o == nil || o.span == nil {
+		return Span{}
+	}
+	o.span.SetAttr("steps", fmt.Sprintf("%d", o.steps))
+	o.span.SetAttr("sim_ns", fmt.Sprintf("%d", int64(o.last)))
+	o.span.SetAttr("outcome", Outcome(err))
+	return o.span.End()
+}
+
+// Outcome is the conventional span outcome attribute value for an
+// error: "ok" or "error".
+func Outcome(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}

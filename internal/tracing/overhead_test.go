@@ -1,0 +1,80 @@
+// Overhead contract for the tracing engine observer, mirroring the
+// root-level TestInstrumentedStepOverhead: attaching an EngineObserver
+// to the engine hot path must cost less than 5%, the budget that lets
+// every traced job carry an engine span.
+package tracing_test
+
+import (
+	"testing"
+	"time"
+
+	"hcapp"
+	"hcapp/internal/tracing"
+)
+
+func buildBench(tb testing.TB, obs hcapp.StepObserver) *hcapp.System {
+	tb.Helper()
+	cfg := hcapp.DefaultConfig()
+	combo, err := hcapp.ComboByName("Hi-Hi")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys, err := hcapp.Build(cfg, combo, hcapp.BuildOptions{
+		Scheme:      hcapp.HCAPPScheme(),
+		TargetPower: hcapp.TargetPowerFor(hcapp.PackagePinLimit()),
+		Observer:    obs,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+func stepTime(sys *hcapp.System, span hcapp.Time) time.Duration {
+	best := time.Duration(1 << 62)
+	for trial := 0; trial < 5; trial++ {
+		start := time.Now()
+		sys.Engine.RunFor(span)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestTracingStepOverhead prices the EngineObserver's two field writes
+// per step against an unobserved engine and fails past the 5% budget.
+func TestTracingStepOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates the observer ops being priced")
+	}
+	tr := tracing.New(tracing.Config{})
+	root := tr.StartRoot("job", "bench", "bench")
+	obs := tracing.NewEngineObserver(tr.StartSpan(root.Context(), "engine"))
+
+	base := buildBench(t, nil)
+	traced := buildBench(t, obs)
+	const span = 2 * hcapp.Millisecond
+	// Interleaved warm-up then measurement, so both runs see the same
+	// cache/turbo conditions.
+	base.Engine.RunFor(span)
+	traced.Engine.RunFor(span)
+	tBase := stepTime(base, span)
+	tTraced := stepTime(traced, span)
+	ratio := tTraced.Seconds() / tBase.Seconds()
+	t.Logf("unobserved %v, traced %v, ratio %.3f", tBase, tTraced, ratio)
+	if ratio > 1.05 {
+		t.Errorf("tracing overhead %.1f%% exceeds the 5%% budget", 100*(ratio-1))
+	}
+	if obs.Steps() == 0 {
+		t.Error("engine observer counted no steps")
+	}
+	obs.Finish(nil)
+	root.End()
+	if spans, _ := tr.Trace(tracing.TraceIDFor("bench")); len(spans) != 2 {
+		t.Errorf("bench trace has %d spans, want 2", len(spans))
+	}
+}

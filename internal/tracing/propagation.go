@@ -1,0 +1,100 @@
+package tracing
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+// Trace context crosses process boundaries two ways:
+//
+//   - context.Context, for in-process hops (job manager → runner →
+//     evaluator task, manager → coordinator Execute);
+//   - HTTP headers in the W3C traceparent style, for the cluster wire
+//     (coordinator → worker slice posts, client → coordinator runs).
+//
+// The traceparent header carries version-traceid-spanid-flags; the
+// companion path header carries the span's tree path, which W3C has no
+// slot for but deterministic child-id derivation needs.
+const (
+	// TraceparentHeader is the standard W3C header name.
+	TraceparentHeader = "traceparent"
+	// TracePathHeader carries SpanContext.Path alongside.
+	TracePathHeader = "x-hcapp-trace-path"
+)
+
+// Traceparent renders the context as a traceparent header value.
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// ParseTraceparent parses a traceparent header value.
+func ParseTraceparent(v string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 || parts[0] != "00" || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return SpanContext{}, false
+	}
+	if !isHex(parts[1]) || !isHex(parts[2]) {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: parts[1], SpanID: parts[2]}, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Inject writes the context onto outbound request headers; invalid
+// contexts write nothing.
+func Inject(h http.Header, sc SpanContext) {
+	if !sc.Valid() {
+		return
+	}
+	h.Set(TraceparentHeader, sc.Traceparent())
+	if sc.Path != "" {
+		h.Set(TracePathHeader, sc.Path)
+	}
+}
+
+// Extract reads a span context from inbound request headers.
+func Extract(h http.Header) (SpanContext, bool) {
+	sc, ok := ParseTraceparent(h.Get(TraceparentHeader))
+	if !ok {
+		return SpanContext{}, false
+	}
+	sc.Path = h.Get(TracePathHeader)
+	return sc, true
+}
+
+// ctxKey keys the (tracer, span) pair in a context; one key for both
+// so untraced paths pay a single Value lookup.
+type ctxKey struct{}
+
+type ctxVal struct {
+	t  *Tracer
+	sc SpanContext
+}
+
+// ContextWith returns ctx carrying the tracer and the current span.
+func ContextWith(ctx context.Context, t *Tracer, sc SpanContext) context.Context {
+	if t == nil || !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{t: t, sc: sc})
+}
+
+// FromContext reads the tracer and current span out of ctx; ok is
+// false on untraced contexts.
+func FromContext(ctx context.Context) (*Tracer, SpanContext, bool) {
+	v, ok := ctx.Value(ctxKey{}).(ctxVal)
+	if !ok {
+		return nil, SpanContext{}, false
+	}
+	return v.t, v.sc, true
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tracing_test
+
+const raceEnabled = false

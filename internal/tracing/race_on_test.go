@@ -1,0 +1,8 @@
+//go:build race
+
+package tracing_test
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation inflates the hot-path costs the
+// overhead contract measures; timing guards skip themselves under it.
+const raceEnabled = true

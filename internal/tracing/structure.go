@@ -1,0 +1,112 @@
+package tracing
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Structure renders a trace's span tree in a canonical, id-free text
+// form: one line per span, two-space indentation per depth, children
+// ordered by name (numeric suffixes compared numerically, so item[10]
+// sorts after item[9]). Durations, ids and attrs are omitted, so the
+// output is a pure function of tree shape — CI diffs it across fleet
+// widths and against standalone runs (scripts/ci.sh).
+//
+// A span whose parent is absent from the collection is an orphan: it
+// renders at the end under an "orphan:" marker with its full path.
+// A complete single-store trace (everything a coordinator assembled)
+// must render none; a worker's local store holds only its own engine
+// spans, whose parents live on the coordinator, so partial views
+// legitimately show orphans (docs/TRACING.md).
+func Structure(spans []Span) string {
+	byID := make(map[string]int, len(spans))
+	for i, s := range spans {
+		byID[s.SpanID] = i
+	}
+	children := make(map[string][]int)
+	var roots, orphans []int
+	for i, s := range spans {
+		switch {
+		case s.ParentID == "":
+			roots = append(roots, i)
+		default:
+			if _, ok := byID[s.ParentID]; ok {
+				children[s.ParentID] = append(children[s.ParentID], i)
+			} else {
+				orphans = append(orphans, i)
+			}
+		}
+	}
+	order := func(idxs []int) {
+		sort.Slice(idxs, func(a, b int) bool {
+			return nameLess(spans[idxs[a]].Name, spans[idxs[b]].Name)
+		})
+	}
+
+	var b strings.Builder
+	var render func(idx, depth int)
+	render = func(idx, depth int) {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		b.WriteString(spans[idx].Name)
+		b.WriteByte('\n')
+		kids := children[spans[idx].SpanID]
+		order(kids)
+		for _, k := range kids {
+			render(k, depth+1)
+		}
+	}
+	order(roots)
+	for _, r := range roots {
+		render(r, 0)
+	}
+	order(orphans)
+	for _, o := range orphans {
+		b.WriteString("orphan: ")
+		b.WriteString(spans[o].Path)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// nameLess orders sibling names: by prefix first, then numerically by
+// any trailing "[n]" index.
+func nameLess(a, b string) bool {
+	pa, na := splitIndex(a)
+	pb, nb := splitIndex(b)
+	if pa != pb {
+		return pa < pb
+	}
+	return na < nb
+}
+
+func splitIndex(name string) (prefix string, idx int) {
+	open := strings.IndexByte(name, '[')
+	if open < 0 || !strings.HasSuffix(name, "]") {
+		return name, -1
+	}
+	n, err := strconv.Atoi(name[open+1 : len(name)-1])
+	if err != nil {
+		return name, -1
+	}
+	return name[:open], n
+}
+
+// Orphans returns the spans whose parent is not in the collection —
+// the integrity check the chaos propagation test and the CI trace
+// stage assert is empty for coordinator-assembled traces.
+func Orphans(spans []Span) []Span {
+	byID := make(map[string]bool, len(spans))
+	for _, s := range spans {
+		byID[s.SpanID] = true
+	}
+	var out []Span
+	for _, s := range spans {
+		if s.ParentID != "" && !byID[s.ParentID] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package tracing
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"hcapp/internal/telemetry"
+)
+
+// fakeClock hands the tracer a deterministic time source; each call
+// advances by step so spans get nonzero durations.
+type fakeClock struct {
+	now  time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) tick() time.Time {
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func newTestTracer(cfg Config) (*Tracer, *fakeClock) {
+	clock := &fakeClock{now: time.Unix(1700000000, 0), step: time.Millisecond}
+	cfg.Now = clock.tick
+	return New(cfg), clock
+}
+
+// TestDeterministicIdentity: trace and span ids are pure functions of
+// (seed, tree path) — the property the whole cross-process design
+// rests on.
+func TestDeterministicIdentity(t *testing.T) {
+	if TraceIDFor("job-1") != TraceIDFor("job-1") {
+		t.Fatal("TraceIDFor not deterministic")
+	}
+	if TraceIDFor("job-1") == TraceIDFor("job-2") {
+		t.Fatal("distinct seeds collide")
+	}
+	if got := len(TraceIDFor("x")); got != 32 {
+		t.Fatalf("trace id length = %d, want 32", got)
+	}
+
+	root := SpanContext{TraceID: TraceIDFor("job-1"), SpanID: spanIDFor(TraceIDFor("job-1"), "job"), Path: "job"}
+	a := root.Child("run").Child("item[0]")
+	b := root.Child("run").Child("item[0]")
+	if a != b {
+		t.Fatalf("Child derivation not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Path != "job/run/item[0]" {
+		t.Fatalf("path = %q", a.Path)
+	}
+	if len(a.SpanID) != 16 {
+		t.Fatalf("span id length = %d, want 16", len(a.SpanID))
+	}
+	if c := root.Child("run").Child("item[1]"); c.SpanID == a.SpanID {
+		t.Fatal("sibling items share a span id")
+	}
+
+	// Two tracers (think: coordinator and worker) derive the same ids
+	// independently.
+	t1, _ := newTestTracer(Config{})
+	t2, _ := newTestTracer(Config{})
+	s1 := t1.StartRoot("job", "j", "j")
+	s2 := t2.StartSpan(s1.Context(), "run")
+	if want := s1.Context().Child("run"); s2.Context() != want {
+		t.Fatalf("remote child context %+v, want %+v", s2.Context(), want)
+	}
+}
+
+// TestSpanLifecycle: attrs, idempotent End, parent wiring, and the
+// nil-receiver no-op contract every call site leans on.
+func TestSpanLifecycle(t *testing.T) {
+	tr, _ := newTestTracer(Config{})
+
+	root := tr.StartRoot("job", "job-9", "job-9")
+	child := tr.StartSpan(root.Context(), "run")
+	child.SetAttr("outcome", "ok").SetAttr("worker", "local")
+	first := child.End()
+	if first.DurationNS <= 0 {
+		t.Fatalf("duration = %d, want > 0", first.DurationNS)
+	}
+	// SetAttr after End must not mutate the recorded span.
+	child.SetAttr("late", "x")
+	if _, ok := child.End().Attrs["late"]; ok {
+		t.Fatal("SetAttr mutated an ended span")
+	}
+	if second := child.End(); second.DurationNS != first.DurationNS {
+		t.Fatal("second End re-measured the span")
+	}
+	root.End()
+
+	spans, dropped := tr.Trace(first.TraceID)
+	if dropped != 0 || len(spans) != 2 {
+		t.Fatalf("trace has %d spans (%d dropped), want 2 (0)", len(spans), dropped)
+	}
+	if spans[0].ParentID != root.Context().SpanID {
+		t.Fatalf("child parent id %q, want root %q", spans[0].ParentID, root.Context().SpanID)
+	}
+	if spans[1].JobID != "job-9" {
+		t.Fatalf("root JobID = %q", spans[1].JobID)
+	}
+
+	// Nil tracer and nil span: everything no-ops, nothing panics.
+	var nilT *Tracer
+	s := nilT.StartRoot("job", "j", "j")
+	if s != nil {
+		t.Fatal("nil tracer StartRoot returned a span")
+	}
+	s.SetAttr("k", "v")
+	s.End()
+	nilT.Ingest([]Span{{TraceID: "x"}})
+	if got := nilT.Len(); got != 0 {
+		t.Fatalf("nil tracer Len = %d", got)
+	}
+	if sp := tr.StartSpan(SpanContext{}, "x"); sp != nil {
+		t.Fatal("invalid parent produced a span")
+	}
+}
+
+func TestStageOf(t *testing.T) {
+	for name, want := range map[string]string{
+		"item[12]":   "item",
+		"attempt[0]": "attempt",
+		"engine":     "engine",
+		"queue-wait": "queue-wait",
+	} {
+		if got := StageOf(name); got != want {
+			t.Fatalf("StageOf(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+// TestStageHistogramFeed: locally finished spans observe their duration
+// under the de-indexed stage label; Ingest (remote spans) must not
+// double-count — the remote node already observed them.
+func TestStageHistogramFeed(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	stages := reg.Histogram("hcapp_stage_duration_seconds", "test", telemetry.DefBuckets(), "stage")
+	tr, _ := newTestTracer(Config{Stages: stages})
+
+	root := tr.StartRoot("job", "j", "j")
+	tr.StartSpan(root.Context(), "item[3]").End()
+	root.End()
+	if got := stages.With("item").Count(); got != 1 {
+		t.Fatalf("stage item count = %g, want 1", got)
+	}
+	if got := stages.With("job").Count(); got != 1 {
+		t.Fatalf("stage job count = %g, want 1", got)
+	}
+
+	remote := root.Context().Child("engine")
+	tr.Ingest([]Span{{TraceID: remote.TraceID, SpanID: remote.SpanID, Name: "engine", Path: remote.Path, DurationNS: 1e6}})
+	if got := stages.With("engine").Count(); got != 0 {
+		t.Fatalf("Ingest fed the stage histogram (engine count = %g)", got)
+	}
+	if spans, _ := tr.Trace(remote.TraceID); len(spans) != 3 {
+		t.Fatalf("ingested span not stored: %d spans", len(spans))
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: TraceIDFor("j"), SpanID: spanIDFor(TraceIDFor("j"), "job"), Path: "job"}
+	got, ok := ParseTraceparent(sc.Traceparent())
+	if !ok || got.TraceID != sc.TraceID || got.SpanID != sc.SpanID {
+		t.Fatalf("round trip: %+v ok=%v, want %+v", got, ok, sc)
+	}
+
+	for _, bad := range []string{
+		"",
+		"00-abc-def-01",
+		"01-" + sc.TraceID + "-" + sc.SpanID + "-01",               // unknown version
+		"00-" + sc.TraceID + "-" + sc.SpanID,                       // missing flags
+		"00-XYZ4567890123456789012345678901a-" + sc.SpanID + "-01", // non-hex
+		"00-" + sc.TraceID + "-GGGGGGGGGGGGGGGG-01",
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("ParseTraceparent accepted %q", bad)
+		}
+	}
+
+	h := make(http.Header)
+	Inject(h, sc)
+	out, ok := Extract(h)
+	if !ok || out != sc {
+		t.Fatalf("header round trip: %+v ok=%v, want %+v", out, ok, sc)
+	}
+	empty := make(http.Header)
+	Inject(empty, SpanContext{})
+	if len(empty) != 0 {
+		t.Fatal("invalid context wrote headers")
+	}
+	if _, ok := Extract(empty); ok {
+		t.Fatal("Extract succeeded on empty headers")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr, _ := newTestTracer(Config{})
+	sc := SpanContext{TraceID: TraceIDFor("j"), SpanID: spanIDFor(TraceIDFor("j"), "job"), Path: "job"}
+
+	ctx := ContextWith(context.Background(), tr, sc)
+	gotT, gotSC, ok := FromContext(ctx)
+	if !ok || gotT != tr || gotSC != sc {
+		t.Fatalf("FromContext = (%v, %+v, %v)", gotT, gotSC, ok)
+	}
+
+	if _, _, ok := FromContext(context.Background()); ok {
+		t.Fatal("untraced context reported a tracer")
+	}
+	if got := ContextWith(context.Background(), nil, sc); got != context.Background() {
+		t.Fatal("nil tracer changed the context")
+	}
+	if got := ContextWith(context.Background(), tr, SpanContext{}); got != context.Background() {
+		t.Fatal("invalid span changed the context")
+	}
+}

@@ -27,7 +27,7 @@ go test -race ./...
 # extra time with count=1 so caching never masks a racy interleaving.
 # This pass covers the breaker, hedging, and backoff tests too.
 echo "== cluster packages under -race (uncached) =="
-go test -race -count=1 ./internal/cluster ./internal/server ./internal/chaos
+go test -race -count=1 ./internal/cluster ./internal/server ./internal/chaos ./internal/tracing
 
 # The step-overhead contracts compare inlined hot paths; race
 # instrumentation disables that inlining, so they skip under -race and
@@ -37,6 +37,7 @@ echo "== timing guards (no race) =="
 go test -run TestInstrumentedStepOverhead -count=1 .
 go test -run TestEnergyLedgerStepOverhead -count=1 .
 go test -run TestFaultInjectionStepOverhead -count=1 ./internal/sched
+go test -run TestTracingStepOverhead -count=1 ./internal/tracing
 go test -run TestRunnerParallelSpeedup -count=1 ./internal/experiment
 
 # Parallel determinism: the suite sharded across 4 workers must emit
@@ -126,6 +127,106 @@ echo "chaos faults injected, breakers tripped, slices hedged (coordinator /metri
 
 kill $coord_pid $w1_pid $w2_pid $w3_pid 2>/dev/null
 wait $coord_pid $w1_pid $w2_pid $w3_pid 2>/dev/null || true
+trap 'rm -rf "$tmp"' EXIT
+
+# Trace integrity: a fleet-executed job must assemble one parented span
+# tree on the coordinator — worker engine spans shipped back over the
+# wire, zero orphans — and the tree's canonical structure must be
+# byte-identical across distinct jobs, and between fleet and standalone
+# execution. The standalone node also proves -pprof mounts the profiling
+# endpoints and that runtime gauges land in the scrape.
+echo "== trace integrity (coordinator + 2 workers vs standalone) =="
+"$tmp/hcapp-serve" -role coordinator -addr 127.0.0.1:18100 &
+coord_pid=$!
+"$tmp/hcapp-serve" -role worker -addr 127.0.0.1:18101 \
+	-coordinator http://127.0.0.1:18100 -worker-id trace-w1 &
+w1_pid=$!
+"$tmp/hcapp-serve" -role worker -addr 127.0.0.1:18102 \
+	-coordinator http://127.0.0.1:18100 -worker-id trace-w2 &
+w2_pid=$!
+"$tmp/hcapp-serve" -addr 127.0.0.1:18103 -pprof &
+solo_pid=$!
+trap 'kill $coord_pid $w1_pid $w2_pid $solo_pid 2>/dev/null; rm -rf "$tmp"' EXIT
+
+wait_ready() {
+	i=0
+	while ! curl -fsS "$1/readyz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ $i -gt 100 ]; then
+			echo "trace integrity: $1 never became ready"
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+wait_ready http://127.0.0.1:18100
+wait_ready http://127.0.0.1:18103
+
+# Submits one job, waits for it, and prints its span-tree structure.
+run_traced_job() {
+	id="$(curl -fsS -X POST "$1/v1/jobs" \
+		-d "{\"combo\":\"Mid-Mid\",\"scheme\":\"hcapp\",\"dur_ms\":0.5,\"seed\":$2,\"tenant\":\"trace-ci\"}" |
+		sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p' | head -n 1)"
+	if [ -z "$id" ]; then
+		echo "trace integrity: job submission to $1 returned no id" >&2
+		exit 1
+	fi
+	i=0
+	while :; do
+		state="$(curl -fsS "$1/v1/jobs/$id" | sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p' | head -n 1)"
+		[ "$state" = "done" ] && break
+		if [ "$state" = "failed" ]; then
+			echo "trace integrity: job $id failed" >&2
+			exit 1
+		fi
+		i=$((i + 1))
+		if [ $i -gt 300 ]; then
+			echo "trace integrity: job $id stuck in state '$state'" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	curl -fsS "$1/v1/traces?job=$id&view=structure"
+}
+
+run_traced_job http://127.0.0.1:18100 101 >"$tmp/trace-fleet-a.txt"
+run_traced_job http://127.0.0.1:18100 202 >"$tmp/trace-fleet-b.txt"
+run_traced_job http://127.0.0.1:18103 101 >"$tmp/trace-solo.txt"
+
+if [ "$(head -n 1 "$tmp/trace-fleet-a.txt")" != "job" ]; then
+	echo "trace integrity: fleet trace does not root at a job span"
+	cat "$tmp/trace-fleet-a.txt"
+	exit 1
+fi
+if ! grep -q "engine" "$tmp/trace-fleet-a.txt"; then
+	echo "trace integrity: no engine spans shipped back from workers"
+	cat "$tmp/trace-fleet-a.txt"
+	exit 1
+fi
+if grep -q "orphan" "$tmp/trace-fleet-a.txt"; then
+	echo "trace integrity: orphan spans in the fleet trace"
+	cat "$tmp/trace-fleet-a.txt"
+	exit 1
+fi
+diff -u "$tmp/trace-fleet-a.txt" "$tmp/trace-fleet-b.txt"
+diff -u "$tmp/trace-fleet-a.txt" "$tmp/trace-solo.txt"
+echo "span-tree structure identical across jobs and across fleet/standalone"
+
+scrape="$(curl -fsS http://127.0.0.1:18100/metrics)"
+for want in hcapp_stage_duration_seconds hcapp_queue_wait_seconds hcapp_go_goroutines; do
+	echo "$scrape" | grep -q "^$want" || {
+		echo "trace integrity: $want missing from coordinator /metrics"
+		exit 1
+	}
+done
+curl -fsS -o /dev/null http://127.0.0.1:18103/debug/pprof/cmdline || {
+	echo "trace integrity: -pprof did not mount /debug/pprof"
+	exit 1
+}
+echo "stage and queue-wait histograms scraped, pprof mounted"
+
+kill $coord_pid $w1_pid $w2_pid $solo_pid 2>/dev/null
+wait $coord_pid $w1_pid $w2_pid $solo_pid 2>/dev/null || true
 trap 'rm -rf "$tmp"' EXIT
 
 echo "== fuzz (short) =="
