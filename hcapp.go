@@ -81,6 +81,8 @@ type (
 	TracePoint = trace.Point
 	// Time is simulated time in nanoseconds.
 	Time = sim.Time
+	// Result is a direct engine run's outcome (duration, completion).
+	Result = sched.Result
 	// StepObserver receives live per-step engine telemetry (total and
 	// per-domain power/voltage) — the hook hcapp-serve publishes
 	// metrics through.
@@ -263,7 +265,7 @@ func RunSeedSweep(seeds []int64, limit PowerLimit, dur Time) (*SeedSweep, error)
 // RunSeedSweepWith runs the seed sweep with the per-seed loop fanned
 // over a runner.
 func RunSeedSweepWith(r *Runner, seeds []int64, limit PowerLimit, dur Time) (*SeedSweep, error) {
-	return experiment.RunSeedSweepWith(r, seeds, limit, dur)
+	return experiment.RunSeedSweepWith(r, seeds, limit, dur, false)
 }
 
 // ComboSpec is the JSON description of a custom benchmark combination.

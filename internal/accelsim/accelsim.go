@@ -162,6 +162,63 @@ func (a *Accel) Step(now sim.Time, dt sim.Time, vdd float64) sim.StepResult {
 	return sim.StepResult{Power: p, Work: work}
 }
 
+// SteadyFor implements sim.BulkStepper: the number of future steps at
+// constant vdd guaranteed to reproduce the last Step bitwise. Only the
+// stateless local-controller kinds qualify (pass-through, adversarial,
+// none — Epoch is a pure function of vdd for all three); a stateful
+// local could retune on any step. The predicted next-step power must
+// match lastPower exactly, which catches the idle transition on the
+// step the work pool ran out.
+func (a *Accel) SteadyFor(now sim.Time, dt sim.Time, vdd float64) int64 {
+	switch a.local.(type) {
+	case *core.PassThrough, core.Adversarial, *core.Adversarial, core.None, *core.None:
+	default:
+		return 0
+	}
+	v := a.effectiveV(vdd)
+	if a.Done() || v < a.vMin {
+		if a.idlePower != a.lastPower {
+			return 0
+		}
+		return 1 << 62
+	}
+	p := a.powerLUT.At(v)
+	if p != a.lastPower {
+		return 0
+	}
+	if a.totalWork <= 0 {
+		return 1 << 62
+	}
+	work := a.tputLUT.At(v) * sim.Seconds(dt)
+	if work <= 0 {
+		return 1 << 62
+	}
+	n := int64((a.totalWork-a.doneWork)/work) - steadyMargin
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// steadyMargin holds the completion bound back from the float-derived
+// estimate; see the matching constant in internal/chiplet.
+const steadyMargin = 8
+
+// StepN implements sim.BulkStepper: replays n steady steps verified by
+// SteadyFor, repeating the identical per-step work accumulation.
+func (a *Accel) StepN(now sim.Time, dt sim.Time, vdd float64, n int64) {
+	v := a.effectiveV(vdd)
+	if a.Done() || v < a.vMin {
+		return
+	}
+	if a.totalWork > 0 {
+		work := a.tputLUT.At(v) * sim.Seconds(dt)
+		for i := int64(0); i < n; i++ {
+			a.doneWork += work
+		}
+	}
+}
+
 // SetTotalWork assigns the work pool in GB.
 func (a *Accel) SetTotalWork(gb float64) { a.totalWork = gb }
 

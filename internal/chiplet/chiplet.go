@@ -253,10 +253,15 @@ func (c *Chiplet) Step(now sim.Time, dt sim.Time, vdd float64) sim.StepResult {
 			out := u.cursor.Step(dt, f, m.DVFS.FMax)
 			totalInstr += out.Instr
 			act = out.Activity
-			u.accInstr += out.Instr
-			u.accCycles += f * dtSec
-			u.accAct += act
-			u.accSteps++
+			// Epoch accumulators feed only the level-3 controller; a
+			// unit without one would write them forever and read them
+			// never, so skip the stores on the hot path.
+			if u.spec.Local != nil {
+				u.accInstr += out.Instr
+				u.accCycles += f * dtSec
+				u.accAct += act
+				u.accSteps++
+			}
 		}
 
 		up := m.Dynamic(vlocal, f, act) + m.Leakage(vlocal)
@@ -309,6 +314,113 @@ func (c *Chiplet) Step(now sim.Time, dt sim.Time, vdd float64) sim.StepResult {
 		c.therm.Step(dt, totalPower)
 	}
 	return sim.StepResult{Power: totalPower, Work: totalInstr}
+}
+
+// steadyMargin is how many steps the float-derived completion bound
+// holds back: the replay subtracts per-step work repeatedly while the
+// bound divides once, and the two drift by ulps per step. See the
+// matching constant in internal/workload.
+const steadyMargin = 8
+
+// SteadyFor implements sim.BulkStepper: the number of future steps at
+// constant vdd guaranteed to reproduce the last Step bitwise. It
+// recomputes the next step's power operation-for-operation from the
+// current state and demands it match lastPower exactly — catching the
+// one-step transitions (a unit finishing, an epoch retune) the caller's
+// cheaper invariants cannot see — and bounds the stride conservatively
+// before every internal event: local-controller epochs, workload phase
+// boundaries, and work-pool completion. Chiplets with a thermal node
+// never stride (the RC network integrates every step).
+func (c *Chiplet) SteadyFor(now sim.Time, dt sim.Time, vdd float64) int64 {
+	if c.therm != nil {
+		return 0
+	}
+	m := &c.cfg.Model
+	finished := c.Done()
+	n := int64(1 << 62)
+	totalPower := 0.0
+	totalInstr := 0.0
+	actSum := 0.0
+	for _, u := range c.units {
+		if u.spec.Local != nil {
+			if k := sim.StepsBefore(now, dt, u.nextEpoch); k < n {
+				n = k
+			}
+			if n <= 0 {
+				return 0
+			}
+		}
+		vlocal := vdd * u.ratio
+		f := m.DVFS.Freq(vlocal - c.cfg.VoltageMargin)
+		var act float64
+		if finished {
+			act = m.IdleAct
+		} else {
+			k, instr, a := u.cursor.SteadySteps(dt, f, m.DVFS.FMax)
+			if k < n {
+				n = k
+			}
+			if n <= 0 {
+				return 0
+			}
+			totalInstr += instr
+			act = a
+		}
+		up := m.Dynamic(vlocal, f, act) + m.Leakage(vlocal)
+		totalPower += up
+		actSum += act
+	}
+	vn := vdd / m.DVFS.VNom
+	if vn < 0 {
+		vn = 0
+	}
+	meanAct := actSum / float64(len(c.units))
+	totalPower += (c.cfg.UncoreLeak + c.cfg.UncoreDyn*meanAct) * vn * vn * vn
+	if totalPower != c.lastPower {
+		return 0
+	}
+	if !finished && c.cfg.TotalWork > 0 && totalInstr > 0 {
+		k := int64((c.cfg.TotalWork-c.doneWork)/totalInstr) - steadyMargin
+		if k < n {
+			n = k
+		}
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// StepN implements sim.BulkStepper: replays n steady steps verified by
+// SteadyFor. Every per-step accumulation is repeated n times with the
+// identical floating-point operation Step performs, so the state after
+// the replay is bitwise what n real steps would have left.
+func (c *Chiplet) StepN(now sim.Time, dt sim.Time, vdd float64, n int64) {
+	if c.Done() {
+		return
+	}
+	dtSec := sim.Seconds(dt)
+	m := &c.cfg.Model
+	totalInstr := 0.0
+	for _, u := range c.units {
+		vlocal := vdd * u.ratio
+		f := m.DVFS.Freq(vlocal - c.cfg.VoltageMargin)
+		_, instr, act := u.cursor.SteadySteps(dt, f, m.DVFS.FMax)
+		u.cursor.AdvanceSteady(n, dt, f, m.DVFS.FMax)
+		totalInstr += instr
+		if u.spec.Local != nil {
+			cycles := f * dtSec
+			for i := int64(0); i < n; i++ {
+				u.accInstr += instr
+				u.accCycles += cycles
+				u.accAct += act
+			}
+			u.accSteps += n
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		c.doneWork += totalInstr
+	}
 }
 
 // Temp returns the junction temperature, or ambient-less 0 when the
@@ -404,3 +516,9 @@ func (c *Constant) Progress() float64 { return 1 }
 
 // Reset implements sim.Resetter.
 func (c *Constant) Reset() {}
+
+// SteadyFor implements sim.BulkStepper: a fixed draw is steady forever.
+func (c *Constant) SteadyFor(_ sim.Time, _ sim.Time, _ float64) int64 { return 1 << 62 }
+
+// StepN implements sim.BulkStepper: stateless, nothing to replay.
+func (c *Constant) StepN(_ sim.Time, _ sim.Time, _ float64, _ int64) {}

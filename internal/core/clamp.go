@@ -216,6 +216,29 @@ func (c *Clamp) Step(now sim.Time, truePowerW float64, reg *vr.Regulator) bool {
 	return false
 }
 
+// SteadyAt reports whether Step(now, p, reg) would be a pure window
+// rotation with no side effects on the regulator: untripped, no guard
+// ramp in flight, the window full and flat at p (so sum += p−p adds
+// exactly zero), and the average strictly below the trip threshold.
+// While this holds the adaptive engine replays steps with AdvanceN.
+func (c *Clamp) SteadyAt(p float64) bool {
+	if c.tripped || c.guard || c.fill < len(c.ring) {
+		return false
+	}
+	for _, v := range c.ring {
+		if v != p {
+			return false
+		}
+	}
+	return c.sum/float64(c.fill) < c.cfg.CapW*c.cfg.TripFrac
+}
+
+// AdvanceN replays n steps of a comparator that SteadyAt verified flat:
+// each step stores the value already present and rotates the index.
+func (c *Clamp) AdvanceN(n int64) {
+	c.idx = int((int64(c.idx) + n) % int64(len(c.ring)))
+}
+
 // WindowAvg returns the comparator's current sliding-window average.
 func (c *Clamp) WindowAvg() float64 {
 	if c.fill == 0 {

@@ -160,6 +160,32 @@ func (d *Domain) Step(now sim.Time, dt sim.Time, vglobal float64) float64 {
 	return d.out
 }
 
+// SteadyAt reports whether Step(now, dt, vglobal) would leave the
+// domain bitwise unchanged and return the same voltage as the last
+// step: the controller is healthy (no silence, no watchdog trip), the
+// target it would compute — reproduced here operation-for-operation —
+// matches the standing one, and the regulator has settled on it. While
+// this holds the adaptive engine can stride without stepping the
+// domain at all.
+func (d *Domain) SteadyAt(vglobal float64) bool {
+	if d.silentFor != 0 || d.tripped || !d.commanded {
+		return false
+	}
+	var target float64
+	if d.cfg.Fixed {
+		target = d.cfg.VMax
+	} else {
+		target = vglobal * d.priority * d.cfg.Scale
+		if target < d.cfg.VMin {
+			target = d.cfg.VMin
+		}
+		if target > d.cfg.VMax {
+			target = d.cfg.VMax
+		}
+	}
+	return target == d.lastTarget && d.reg.Settled() && d.out == d.reg.Output()
+}
+
 // Output returns the domain voltage currently delivered.
 func (d *Domain) Output() float64 { return d.out }
 

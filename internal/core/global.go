@@ -185,6 +185,23 @@ func (g *Global) StepSensed(now sim.Time, sensedPower float64, age sim.Time, reg
 	return true
 }
 
+// NextFire returns the time of the next control-cycle boundary: the
+// first step whose now is >= NextFire takes a control action. The
+// adaptive engine ends strides strictly before this boundary.
+func (g *Global) NextFire() sim.Time { return g.nextFire }
+
+// AccumulateN replays n steps of window accumulation at a constant
+// sensed power without crossing a control-cycle boundary (the caller
+// bounds n by NextFire). The repeated additions reproduce StepSensed's
+// per-step accumulation bitwise — a closed-form n·sensed would round
+// differently.
+func (g *Global) AccumulateN(sensedPower float64, n int64) {
+	for i := int64(0); i < n; i++ {
+		g.accum += sensedPower
+	}
+	g.samples += n
+}
+
 // NotifyOverrideRelease tells the controller an external override (the
 // package safety clamp) just released the rail. The PID restarts
 // cleanly: while the override held the rail down, the sensed power it

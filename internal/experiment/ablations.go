@@ -31,6 +31,7 @@ func (ev *Evaluator) runVariant(combo Combo, limit config.PowerLimit, mutate fun
 		CPUWork:     sizing.CPUWork,
 		GPUWork:     sizing.GPUWork,
 		AccelWorkGB: sizing.AccelGB,
+		Adaptive:    ev.Adaptive,
 	}
 	if mutate != nil {
 		mutate(&opts)
@@ -181,6 +182,7 @@ func (ev *Evaluator) ThermalCheck() (peakCPU, peakGPU float64, tripped bool, err
 		GPUWork:       sizing.GPUWork,
 		AccelWorkGB:   sizing.AccelGB,
 		EnableThermal: true,
+		Adaptive:      ev.Adaptive,
 	})
 	if err != nil {
 		return 0, 0, false, err

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"hcapp/internal/config"
+	"hcapp/internal/sim"
+)
+
+// adaptiveEvaluator is shortEvaluator with steady-state striding on.
+func adaptiveEvaluator() *Evaluator {
+	ev := shortEvaluator()
+	ev.Adaptive = true
+	return ev
+}
+
+// requireIdenticalResults fails unless two runs are bitwise equal in
+// every measured quantity — the adaptive engine's whole contract.
+func requireIdenticalResults(t *testing.T, label string, f, a RunResult) {
+	t.Helper()
+	if f.AvgPower != a.AvgPower || f.MaxWindowPower != a.MaxWindowPower ||
+		f.MaxOverLimit != a.MaxOverLimit || f.PPE != a.PPE {
+		t.Fatalf("%s: power metrics diverge:\nfixed    %+v\nadaptive %+v", label, f, a)
+	}
+	if f.Duration != a.Duration || f.Completed != a.Completed ||
+		f.Violated != a.Violated || f.ControlCycles != a.ControlCycles {
+		t.Fatalf("%s: run outcome diverges:\nfixed    %+v\nadaptive %+v", label, f, a)
+	}
+	if !reflect.DeepEqual(f.Completion, a.Completion) || !reflect.DeepEqual(f.Finished, a.Finished) {
+		t.Fatalf("%s: completion times diverge:\nfixed    %v/%v\nadaptive %v/%v",
+			label, f.Completion, f.Finished, a.Completion, a.Finished)
+	}
+}
+
+// TestAdaptiveMatchesFixedAcrossMatrix is the fixed-vs-adaptive
+// determinism matrix: every combo × scheme cell must produce bitwise
+// identical results whether the engine strides through steady state or
+// steps through it. Striding is an execution detail, never a model
+// change — which is also why Adaptive is deliberately absent from the
+// result cache key.
+func TestAdaptiveMatchesFixedAcrossMatrix(t *testing.T) {
+	fixed := shortEvaluator()
+	adaptive := adaptiveEvaluator()
+	limit := config.PackagePinLimit()
+	schemes := []config.Scheme{fixed.FixedScheme()}
+	for _, k := range []config.SchemeKind{config.HCAPP, config.RAPLLike, config.SWLike} {
+		s, err := config.SchemeByKind(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes = append(schemes, s)
+	}
+	for _, comboName := range []string{"Burst-Burst", "Hi-Hi", "Mid-Mid"} {
+		combo := mustCombo2(t, comboName)
+		for _, scheme := range schemes {
+			spec := RunSpec{Combo: combo, Scheme: scheme, Limit: limit}
+			f, err := fixed.Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := adaptive.Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdenticalResults(t, comboName+"/"+string(scheme.Kind), f, a)
+		}
+	}
+}
+
+// TestAdaptiveFaultSweepIdentical extends the matrix to the fault
+// sweep: injector windows force stride boundaries, and every scenario
+// row must still come out bit for bit the same.
+func TestAdaptiveFaultSweepIdentical(t *testing.T) {
+	run := func(adaptive bool) *FaultSweep {
+		ev := shortEvaluator()
+		ev.Adaptive = adaptive
+		sweep, err := ev.RunFaultSweep(mustCombo2(t, "Mid-Mid"), config.PackagePinLimit(), 2*sim.Millisecond, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sweep
+	}
+	f, a := run(false), run(true)
+	if !reflect.DeepEqual(f.Rows, a.Rows) {
+		t.Fatalf("fault sweep diverges under adaptive stepping:\n%s\nvs\n%s",
+			RenderFaultSweep(f), RenderFaultSweep(a))
+	}
+}
+
+// TestAdaptiveSeedSweepIdentical covers the seed sweep's stochastic
+// injector draws: the PRNG consumption pattern must be unchanged by
+// striding (strides never span an active or imminent fault window).
+func TestAdaptiveSeedSweepIdentical(t *testing.T) {
+	run := func(adaptive bool) *SeedSweep {
+		sweep, err := RunSeedSweepWith(nil, []int64{3, 11}, config.PackagePinLimit(), 2*sim.Millisecond, adaptive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sweep
+	}
+	f, a := run(false), run(true)
+	if !reflect.DeepEqual(f, a) {
+		t.Fatalf("seed sweep diverges under adaptive stepping:\n%+v\nvs\n%+v", f, a)
+	}
+}
+
+// TestAdaptiveNotInCacheKey pins the deliberate design choice: because
+// adaptive runs are bitwise identical, results are interchangeable and
+// the flag must not fragment the evaluator/fleet result cache.
+func TestAdaptiveNotInCacheKey(t *testing.T) {
+	f, a := shortEvaluator(), adaptiveEvaluator()
+	spec := RunSpec{Combo: mustCombo2(t, "Low-Low"), Scheme: f.FixedScheme(), Limit: config.PackagePinLimit()}
+	if f.CacheKey(spec) != a.CacheKey(spec) {
+		t.Fatal("Adaptive leaked into the run cache key")
+	}
+}

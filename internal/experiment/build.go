@@ -136,6 +136,11 @@ type BuildOptions struct {
 	// Holdover, when MaxAge > 0, arms the global controller's
 	// stale-sample holdover (dynamic schemes only).
 	Holdover core.HoldoverConfig
+	// Adaptive enables the engine's steady-state striding
+	// (sched.Config.Adaptive): bitwise-identical results, less wall
+	// clock. Deliberately NOT part of any result cache key — it must
+	// not change a single output byte.
+	Adaptive bool
 }
 
 // System bundles an assembled engine with handles the experiments need.
@@ -315,6 +320,7 @@ func Build(cfg config.SystemConfig, combo Combo, opts BuildOptions) (*System, er
 		Observer:        obs,
 		Injector:        opts.Injector,
 		Clamp:           clamp,
+		Adaptive:        opts.Adaptive,
 	})
 	if err != nil {
 		return nil, err

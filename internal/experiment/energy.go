@@ -131,6 +131,7 @@ func (ev *Evaluator) RunEnergyAttribution(faultCombo Combo, limit config.PowerLi
 			Watchdog:    core.WatchdogConfig{Timeout: DefaultWatchdogTimeout},
 			Holdover:    core.HoldoverConfig{MaxAge: DefaultHoldoverMaxAge},
 			TrackEnergy: true,
+			Adaptive:    ev.Adaptive,
 		})
 		if err != nil {
 			return err

@@ -205,6 +205,12 @@ type Evaluator struct {
 	// energy — the ledger is passive, so the simulated metrics are
 	// identical either way.
 	TrackEnergy bool
+	// Adaptive enables the engine's steady-state striding on every
+	// uncached local run. Results are bitwise identical to fixed-step
+	// execution (the CI determinism diffs enforce it), so this is
+	// deliberately NOT in the cache key: adaptive and fixed-step
+	// evaluators, local or fleet, share results freely.
+	Adaptive bool
 
 	// runner, when non-nil, fans RunSpecs batches across a worker pool.
 	runner *Runner
@@ -434,6 +440,7 @@ func (ev *Evaluator) runUncached(ctx context.Context, spec RunSpec, key string) 
 		Supervisor:       sup,
 		Observer:         ev.Observer,
 		TrackEnergy:      ev.TrackEnergy,
+		Adaptive:         ev.Adaptive,
 	}
 	if spec.Scheme.Kind != config.FixedVoltage {
 		opts.TargetPower = TargetPowerFor(spec.Limit)

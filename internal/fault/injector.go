@@ -99,6 +99,12 @@ func (in *Injector) Reset() {
 	}
 }
 
+// NextChange returns the next time the active-event set can change.
+// While the injector is idle (BeginStep returned false), every step
+// strictly before NextChange is guaranteed idle too — the bound the
+// adaptive engine uses to end strides before a fault window opens.
+func (in *Injector) NextChange() sim.Time { return in.nextChange }
+
 // BeginStep advances the injector to time now and reports whether any
 // event is active this step. It must be called once per engine step,
 // with monotonically increasing now. The idle fast path (no active

@@ -61,6 +61,24 @@ func (d *DelayLine) Step(in float64) float64 {
 	return d.ring[d.head]
 }
 
+// SteadyAt reports whether the line is flat at v: every buffered sample
+// equals v, so Step(v) is a pure head rotation returning v. The
+// adaptive engine strides over flat lines with AdvanceN.
+func (d *DelayLine) SteadyAt(v float64) bool {
+	for _, s := range d.ring {
+		if s != v {
+			return false
+		}
+	}
+	return true
+}
+
+// AdvanceN replays n steps of a line that SteadyAt verified flat: each
+// step stores the value already present and rotates the head.
+func (d *DelayLine) AdvanceN(n int64) {
+	d.head = int((int64(d.head) + n) % int64(len(d.ring)))
+}
+
 // Output returns the sample that will emerge on the next Step, without
 // advancing.
 func (d *DelayLine) Output() float64 { return d.ring[d.head] }

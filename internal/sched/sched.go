@@ -13,11 +13,17 @@
 //  4. the summed package power enters the sensing path;
 //  5. on a control-cycle boundary, the global controller reads the
 //     sensed power and commands a new global voltage.
+//
+// The per-slot state the step loop touches lives in parallel arrays
+// compiled at construction (see Engine), and an opt-in adaptive mode
+// (Config.Adaptive) strides over bitwise-steady regions; see docs/PERF.md.
 package sched
 
 import (
 	"fmt"
 
+	"hcapp/internal/accelsim"
+	"hcapp/internal/chiplet"
 	"hcapp/internal/core"
 	"hcapp/internal/fault"
 	"hcapp/internal/psn"
@@ -118,7 +124,8 @@ type Config struct {
 	Supervisor Supervisor
 	// Observer, when non-nil, receives per-step telemetry (power,
 	// per-domain voltage). Costs one interface call per step plus a few
-	// stores; no allocations.
+	// stores; no allocations. Attaching an observer disables adaptive
+	// striding (the observer contract is one call per step).
 	Observer StepObserver
 	// Injector, when non-nil, perturbs the step loop with deterministic
 	// faults (sensing-path defects, rail droop, VR degradation, domain
@@ -129,9 +136,35 @@ type Config struct {
 	// after the global controller each step against the *true* summed
 	// power, so the cap holds even when the sensing path lies.
 	Clamp *core.Clamp
+	// Adaptive enables steady-state striding: when every piece of
+	// engine state is at an exact floating-point fixed point and no
+	// event boundary (control fire, supervisor tick, fault window,
+	// workload phase edge, epoch, completion) is near, the engine
+	// replays many steps at once. Results — trace, recorder columns,
+	// counters — are bitwise identical to fixed-step execution; the
+	// mode only changes wall-clock time. Ignored when an Observer is
+	// attached or any component does not implement sim.BulkStepper.
+	Adaptive bool
 }
 
-// Engine is the central simulation controller.
+// slotKind selects the devirtualized dispatch for one slot: the engine
+// calls the concrete Step of the known component types directly and
+// falls back to the interface for anything else.
+type slotKind uint8
+
+const (
+	slotGeneric slotKind = iota
+	slotChiplet
+	slotAccel
+	slotConstant
+)
+
+// Engine is the central simulation controller. Per-slot hot-path state
+// is compiled into parallel arrays at construction (struct-of-arrays):
+// the step loop indexes flat slices instead of chasing interface
+// pointers, recorder keys are pre-registered column indices, and
+// completion is a counter maintained on the done edge instead of a
+// per-step rescan.
 type Engine struct {
 	cfg       Config
 	now       sim.Time
@@ -151,6 +184,39 @@ type Engine struct {
 	// slewDirty records that the injector degraded the global VR slew,
 	// so the restore store happens once instead of every idle step.
 	slewDirty bool
+	// injIdleUntil caches the injector's NextChange bound: every step
+	// strictly before it is guaranteed idle, so the no-fault fast path
+	// is one field compare with no call (the <2% overhead contract).
+	injIdleUntil sim.Time
+
+	// Compiled slot table. All slices are len(cfg.Slots).
+	track    bool // component tracking on AND the recorder records it
+	kinds    []slotKind
+	doms     []*core.Domain
+	domNames []string
+	chips    []*chiplet.Chiplet
+	accels   []*accelsim.Accel
+	consts   []*chiplet.Constant
+	comps    []sim.Component
+	bulks    []sim.BulkStepper // nil for components without bulk stepping
+	compCols []int             // recorder column per component
+	voltCols []int             // recorder column per "voltage:<domain>"
+	railCol  int               // recorder column for "voltage:rail"
+	vdom     []float64         // last step's domain voltages
+	pw       []float64         // last step's per-component power
+	doneFlag []bool            // completion cache (non-generic slots)
+	notDone  int               // undone non-generic slots
+	generics []int             // slot indices needing interface Done()
+
+	// Adaptive-stepping state: a snapshot of the quantities the last
+	// step produced, enough to prove the next step would be identical.
+	adaptiveOK   bool
+	prevTotal    float64 // lastTotal as seen BY the last step (droop input)
+	lastVglobal  float64
+	lastVrail    float64
+	lastInjIdle  bool
+	strides      int64
+	stridedSteps int64
 }
 
 // New validates and builds an engine.
@@ -188,7 +254,88 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.nextSup = cfg.Supervisor.Period()
 	}
+	e.compile()
 	return e, nil
+}
+
+// compile builds the struct-of-arrays slot table: concrete dispatch
+// kinds, prefilled recorder columns (the per-step "voltage:"+name
+// concatenation used to allocate on every tracked step), and the
+// completion cache.
+func (e *Engine) compile() {
+	n := len(e.cfg.Slots)
+	e.track = e.cfg.TrackComponents && e.cfg.Recorder.Tracking()
+	e.kinds = make([]slotKind, n)
+	e.doms = make([]*core.Domain, n)
+	e.domNames = make([]string, n)
+	e.chips = make([]*chiplet.Chiplet, n)
+	e.accels = make([]*accelsim.Accel, n)
+	e.consts = make([]*chiplet.Constant, n)
+	e.comps = make([]sim.Component, n)
+	e.bulks = make([]sim.BulkStepper, n)
+	e.compCols = make([]int, n)
+	e.voltCols = make([]int, n)
+	e.vdom = make([]float64, n)
+	e.pw = make([]float64, n)
+	e.doneFlag = make([]bool, n)
+	e.generics = nil
+	e.railCol = -1
+	if e.track {
+		e.railCol = e.cfg.Recorder.Column("voltage:rail")
+	}
+	for i, s := range e.cfg.Slots {
+		e.doms[i] = s.Domain
+		e.domNames[i] = s.Domain.Name()
+		e.comps[i] = s.Comp
+		e.bulks[i], _ = s.Comp.(sim.BulkStepper)
+		switch c := s.Comp.(type) {
+		case *chiplet.Chiplet:
+			e.kinds[i] = slotChiplet
+			e.chips[i] = c
+		case *accelsim.Accel:
+			e.kinds[i] = slotAccel
+			e.accels[i] = c
+		case *chiplet.Constant:
+			e.kinds[i] = slotConstant
+			e.consts[i] = c
+		default:
+			e.kinds[i] = slotGeneric
+			e.generics = append(e.generics, i)
+		}
+		e.compCols[i] = -1
+		e.voltCols[i] = -1
+		if e.track {
+			e.compCols[i] = e.cfg.Recorder.Column(s.Comp.Name())
+			e.voltCols[i] = e.cfg.Recorder.Column("voltage:" + s.Domain.Name())
+		}
+	}
+	e.resetDoneCache()
+	// Striding needs a bulk-capable component in every slot and an
+	// unobserved engine (observers are promised one call per step).
+	e.adaptiveOK = e.cfg.Adaptive && e.cfg.Observer == nil
+	for _, b := range e.bulks {
+		if b == nil {
+			e.adaptiveOK = e.adaptiveOK && false
+		}
+	}
+}
+
+// resetDoneCache recomputes the completion cache from component state.
+func (e *Engine) resetDoneCache() {
+	e.notDone = 0
+	for i := range e.comps {
+		if e.kinds[i] == slotGeneric {
+			// Generic slots are re-polled in allDone; the cache only
+			// covers the concrete kinds whose completion is monotonic
+			// during a run.
+			e.doneFlag[i] = false
+			continue
+		}
+		e.doneFlag[i] = e.comps[i].Done()
+		if !e.doneFlag[i] {
+			e.notDone++
+		}
+	}
 }
 
 // MustNew is New that panics on invalid configuration.
@@ -236,14 +383,24 @@ const cancelCheckEvery = 4096
 // ends the run early (Completed reports false unless every component
 // already finished). It is how the job server bounds a hung or
 // oversized simulation with a wall-clock timeout.
+//
+// The run executes whole steps only: when maxDur is not a multiple of
+// DT it stops at the last step boundary at or before maxDur, never
+// past it (partial steps would corrupt the uniform-dt trace).
 func (e *Engine) RunWithCancel(maxDur sim.Time, cancelled func() bool) Result {
 	dt := e.cfg.DT
-	sinceCheck := 0
-	for e.now < maxDur {
+	sinceCheck := int64(0)
+	for e.now+dt <= maxDur {
 		e.now += dt
 		e.step()
 		if e.allDone() {
 			break
+		}
+		if e.adaptiveOK {
+			if n := e.strideLen(maxDur); n > 0 {
+				e.stride(n)
+				sinceCheck += n
+			}
 		}
 		if cancelled != nil {
 			if sinceCheck++; sinceCheck >= cancelCheckEvery {
@@ -272,13 +429,20 @@ func (e *Engine) RunWithCancel(maxDur sim.Time, cancelled func() bool) Result {
 	return res
 }
 
-// RunFor advances exactly dur of simulated time regardless of component
-// completion (used for trace generation and tuning).
+// RunFor advances the simulation by dur regardless of component
+// completion (used for trace generation and tuning). Like Run it
+// executes whole steps only, stopping at the last boundary within dur.
 func (e *Engine) RunFor(dur sim.Time) {
+	dt := e.cfg.DT
 	end := e.now + dur
-	for e.now < end {
-		e.now += e.cfg.DT
+	for e.now+dt <= end {
+		e.now += dt
 		e.step()
+		if e.adaptiveOK {
+			if n := e.strideLen(end); n > 0 {
+				e.stride(n)
+			}
+		}
 	}
 }
 
@@ -290,18 +454,24 @@ func (e *Engine) step() {
 	// comparison when absent).
 	inj := e.cfg.Injector
 	injActive := false
-	if inj != nil {
+	if inj != nil && now >= e.injIdleUntil {
 		injActive = inj.BeginStep(now)
 		// The slew scale must be *restored* once a VRSlew window ends,
 		// but an idle injector must not pay a store per step — the
 		// restore happens once, on the first idle step after an active
-		// one (slewDirty).
+		// one (slewDirty). While idle the injector promises no change
+		// strictly before NextChange, so steps until then skip
+		// BeginStep entirely (slewDirty is false by then: it was
+		// cleared on the step that cached the bound).
 		if injActive {
 			e.cfg.GlobalVR.SetSlewScale(inj.SlewScale())
 			e.slewDirty = true
-		} else if e.slewDirty {
-			e.cfg.GlobalVR.SetSlewScale(1)
-			e.slewDirty = false
+		} else {
+			e.injIdleUntil = inj.NextChange()
+			if e.slewDirty {
+				e.cfg.GlobalVR.SetSlewScale(1)
+				e.slewDirty = false
+			}
 		}
 	}
 
@@ -316,27 +486,63 @@ func (e *Engine) step() {
 		vrail = inj.Rail(vrail)
 	}
 
-	// 3. Domains and components.
+	// The droop input is what the stride check must compare against:
+	// the next step is only a replay if it sees the same lastTotal.
+	e.prevTotal = e.lastTotal
+	e.lastVglobal = vglobal
+	e.lastVrail = vrail
+	e.lastInjIdle = !injActive
+
+	// 3. Domains and components, through the compiled slot table.
 	total := 0.0
-	if e.cfg.TrackComponents {
-		e.cfg.Recorder.RecordComponent("voltage:rail", vrail)
+	if e.track {
+		e.cfg.Recorder.RecordColumn(e.railCol, vrail)
 	}
-	for i, s := range e.cfg.Slots {
+	for i := range e.kinds {
+		d := e.doms[i]
 		var vdom float64
-		if injActive && inj.Silenced(s.Domain.Name()) {
-			vdom = s.Domain.StepSilent(now, dt)
+		if injActive && inj.Silenced(e.domNames[i]) {
+			vdom = d.StepSilent(now, dt)
 		} else {
-			vdom = s.Domain.Step(now, dt, vrail)
+			vdom = d.Step(now, dt, vrail)
 		}
-		res := s.Comp.Step(now, dt, vdom)
+		var res sim.StepResult
+		switch e.kinds[i] {
+		case slotChiplet:
+			res = e.chips[i].Step(now, dt, vdom)
+		case slotAccel:
+			res = e.accels[i].Step(now, dt, vdom)
+		case slotConstant:
+			res = e.consts[i].Step(now, dt, vdom)
+		default:
+			res = e.comps[i].Step(now, dt, vdom)
+		}
+		e.vdom[i] = vdom
+		e.pw[i] = res.Power
 		total += res.Power
-		if e.cfg.TrackComponents {
-			e.cfg.Recorder.RecordComponent(s.Comp.Name(), res.Power)
-			e.cfg.Recorder.RecordComponent("voltage:"+s.Domain.Name(), vdom)
+		if e.track {
+			e.cfg.Recorder.RecordColumn(e.compCols[i], res.Power)
+			e.cfg.Recorder.RecordColumn(e.voltCols[i], vdom)
 		}
 		if e.obsBuf != nil {
 			e.obsBuf[i].Power = res.Power
 			e.obsBuf[i].Voltage = vdom
+		}
+		// Maintain the completion cache on the done edge (concrete
+		// kinds only; their completion is monotonic during a run).
+		if !e.doneFlag[i] {
+			switch e.kinds[i] {
+			case slotChiplet:
+				if e.chips[i].Done() {
+					e.doneFlag[i] = true
+					e.notDone--
+				}
+			case slotAccel:
+				if e.accels[i].Done() {
+					e.doneFlag[i] = true
+					e.notDone--
+				}
+			}
 		}
 	}
 
@@ -389,20 +595,155 @@ func (e *Engine) step() {
 	}
 }
 
+// minStride is the smallest stride worth the steady checks: below this
+// the replay bookkeeping costs as much as just stepping.
+const minStride = 4
+
+// strideLen returns how many steps after the current one are provably
+// bitwise identical to it, bounded so the stride ends strictly before
+// the run end and before every event boundary: global control fires,
+// supervisor ticks, fault windows, workload phase edges, local-control
+// epochs, and work completion. Zero means step normally.
+//
+// The proof obligation is an induction: if the last step saw the same
+// droop input it produced (lastTotal == prevTotal), the injector was
+// idle, the regulators are settled, the delay lines and sliding windows
+// are flat, the sensor filter is at its exact fixed point, and every
+// component certifies its next steps reproduce its last one, then the
+// next step performs the identical floating-point operations on
+// identical state — so its outputs equal the last step's bitwise, and
+// the invariants still hold afterwards.
+func (e *Engine) strideLen(end sim.Time) int64 {
+	// Cheap scalar gates first: almost every non-steady step fails here
+	// for the cost of a few compares.
+	if e.lastTotal != e.prevTotal || !e.lastInjIdle || e.slewDirty {
+		return 0
+	}
+	cfg := &e.cfg
+	dt := cfg.DT
+	if !cfg.GlobalVR.Settled() {
+		return 0
+	}
+	n := (end - e.now) / dt
+	if cfg.Global != nil {
+		if k := sim.StepsBefore(e.now, dt, cfg.Global.NextFire()); k < n {
+			n = k
+		}
+	}
+	if cfg.Supervisor != nil {
+		if k := sim.StepsBefore(e.now, dt, e.nextSup); k < n {
+			n = k
+		}
+	}
+	if cfg.Injector != nil {
+		if k := sim.StepsBefore(e.now, dt, cfg.Injector.NextChange()); k < n {
+			n = k
+		}
+	}
+	if n < minStride {
+		return 0
+	}
+	if !cfg.PSN.SteadyAt(e.lastVglobal) {
+		return 0
+	}
+	// With a global controller attached its window accumulates Read()
+	// once per step, so the filter must be at its bitwise fixed point;
+	// without one, nothing observes the filter mid-stride and AdvanceN
+	// replays its convergence exactly — only the delay ring must be flat.
+	if cfg.Global != nil {
+		if !cfg.Sensor.SteadyAt(e.lastTotal) {
+			return 0
+		}
+	} else if !cfg.Sensor.DelaySteadyAt(e.lastTotal) {
+		return 0
+	}
+	for i := range e.doms {
+		if !e.doms[i].SteadyAt(e.lastVrail) {
+			return 0
+		}
+		if k := e.bulks[i].SteadyFor(e.now, dt, e.vdom[i]); k < n {
+			n = k
+			if n < minStride {
+				return 0
+			}
+		}
+	}
+	// The clamp's window scan is the most expensive check; run it last.
+	if cfg.Clamp != nil && !cfg.Clamp.SteadyAt(e.lastTotal) {
+		return 0
+	}
+	return n
+}
+
+// stride replays n steps verified by strideLen: components advance
+// their accumulators by n repetitions of the identical per-step
+// operation, rings rotate in place, the controller accumulates its
+// window, and the recorder appends n copies of the steady sample. No
+// voltages move and no events fire — strideLen guaranteed both.
+func (e *Engine) stride(n int64) {
+	cfg := &e.cfg
+	dt := cfg.DT
+	for i, k := range e.kinds {
+		switch k {
+		case slotChiplet:
+			e.chips[i].StepN(e.now, dt, e.vdom[i], n)
+		case slotAccel:
+			e.accels[i].StepN(e.now, dt, e.vdom[i], n)
+		case slotConstant:
+			// Stateless fixed draw: nothing accumulates.
+		default:
+			e.bulks[i].StepN(e.now, dt, e.vdom[i], n)
+		}
+	}
+	cfg.Sensor.AdvanceN(e.lastTotal, n)
+	cfg.PSN.AdvanceN(n)
+	if cfg.Global != nil {
+		cfg.Global.AccumulateN(cfg.Sensor.Read(), n)
+	}
+	if cfg.Clamp != nil {
+		cfg.Clamp.AdvanceN(n)
+	}
+	cfg.Recorder.RecordN(e.lastTotal, int(n))
+	if e.track {
+		cfg.Recorder.RecordColumnN(e.railCol, e.lastVrail, int(n))
+		for i := range e.kinds {
+			cfg.Recorder.RecordColumnN(e.compCols[i], e.pw[i], int(n))
+			cfg.Recorder.RecordColumnN(e.voltCols[i], e.vdom[i], int(n))
+		}
+	}
+	e.now += sim.Time(n) * dt
+	e.lastGoodSense = e.now
+	e.steps += n
+	e.strides++
+	e.stridedSteps += n
+}
+
 // SupervisorTicks reports how many supervision passes have run.
 func (e *Engine) SupervisorTicks() int64 { return e.supTicks }
 
 // Steps reports how many engine steps have executed since construction
-// or the last Reset.
+// or the last Reset (strided steps included).
 func (e *Engine) Steps() int64 { return e.steps }
+
+// Strides reports how many adaptive strides the engine took since
+// construction or the last Reset.
+func (e *Engine) Strides() int64 { return e.strides }
+
+// StridedSteps reports how many steps were covered by adaptive strides
+// (a subset of Steps). StridedSteps/Steps is the striding ratio — the
+// fraction of the run that never executed the full step loop.
+func (e *Engine) StridedSteps() int64 { return e.stridedSteps }
 
 // LastTotalPower returns the package power drawn on the most recent
 // step (telemetry for supervisors).
 func (e *Engine) LastTotalPower() float64 { return e.lastTotal }
 
 func (e *Engine) allDone() bool {
-	for _, s := range e.cfg.Slots {
-		if !s.Comp.Done() {
+	if e.notDone > 0 {
+		return false
+	}
+	for _, i := range e.generics {
+		if !e.comps[i].Done() {
 			return false
 		}
 	}
@@ -468,6 +809,7 @@ func (e *Engine) Reset() {
 	e.lastGoodSense = 0
 	e.clampHeld = false
 	e.slewDirty = false
+	e.injIdleUntil = 0
 	if e.cfg.Supervisor != nil {
 		e.nextSup = e.cfg.Supervisor.Period()
 	}
@@ -477,6 +819,22 @@ func (e *Engine) Reset() {
 	if e.cfg.Clamp != nil {
 		e.cfg.Clamp.Reset()
 	}
+	// Per-slot hot-path state and the steady-stride snapshot.
+	for i := range e.vdom {
+		e.vdom[i] = 0
+		e.pw[i] = 0
+	}
+	for i := range e.obsBuf {
+		e.obsBuf[i].Power = 0
+		e.obsBuf[i].Voltage = 0
+	}
+	e.resetDoneCache()
+	e.prevTotal = 0
+	e.lastVglobal = 0
+	e.lastVrail = 0
+	e.lastInjIdle = false
+	e.strides = 0
+	e.stridedSteps = 0
 }
 
 // Injector returns the attached fault injector, or nil.

@@ -74,3 +74,32 @@ type Component interface {
 // Resetter is implemented by components that can be rewound to their
 // initial state so a single system can be reused across runs.
 type Resetter interface{ Reset() }
+
+// BulkStepper is implemented by components that can prove a run of
+// future steps will be bitwise identical to the last one and replay
+// them in bulk. It powers the engine's adaptive stepping mode.
+type BulkStepper interface {
+	// SteadyFor returns the maximum number of consecutive future
+	// Step(now+k·dt, dt, vdd) calls (k = 1..n) guaranteed to return
+	// exactly the result of the last Step and to change internal state
+	// only by the per-step accumulations StepN replays. Zero disables
+	// striding. Implementations must compare against the last step's
+	// actual outputs — bitwise — and must bound n conservatively around
+	// any internal event (phase boundary, epoch, completion).
+	SteadyFor(now Time, dt Time, vdd float64) int64
+	// StepN replays n steady steps verified by SteadyFor: per-step
+	// accumulators advance by n repetitions of the identical
+	// floating-point operation Step performs (never a closed form, which
+	// would round differently).
+	StepN(now Time, dt Time, vdd float64, n int64)
+}
+
+// StepsBefore returns the largest n ≥ 0 such that now + k·dt < event
+// for every k in 1..n — the longest stride from now that stays strictly
+// before a fire-when-reached event boundary.
+func StepsBefore(now, dt, event Time) int64 {
+	if event <= now {
+		return 0
+	}
+	return (event - 1 - now) / dt
+}

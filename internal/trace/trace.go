@@ -12,11 +12,21 @@ import (
 	"hcapp/internal/sim"
 )
 
+// column is one named per-step series (a component's power, a rail
+// voltage). Columns live in a slice — not a map — so the engine's hot
+// loop appends through a prefetched index with no hashing and no
+// per-step key allocation.
+type column struct {
+	name    string
+	samples []float64
+}
+
 // Recorder accumulates one power sample per engine step.
 type Recorder struct {
 	dt      sim.Time
 	total   []float64
-	byComp  map[string][]float64
+	cols    []column
+	colIdx  map[string]int // name → index into cols
 	track   bool
 	prefix  []float64 // lazy prefix sums over total
 	prefixN int
@@ -30,7 +40,7 @@ func NewRecorder(dt sim.Time, trackComponents bool) (*Recorder, error) {
 	}
 	r := &Recorder{dt: dt, track: trackComponents}
 	if trackComponents {
-		r.byComp = make(map[string][]float64)
+		r.colIdx = make(map[string]int)
 	}
 	return r, nil
 }
@@ -44,18 +54,88 @@ func MustRecorder(dt sim.Time, trackComponents bool) *Recorder {
 	return r
 }
 
+// Tracking reports whether per-component series are recorded.
+func (r *Recorder) Tracking() bool { return r.track }
+
+// Column registers (or looks up) a named per-component series and
+// returns its index for RecordColumn. Registering up front moves the
+// name hash and any string concatenation out of the step loop. Returns
+// -1 when tracking is disabled.
+func (r *Recorder) Column(name string) int {
+	if !r.track {
+		return -1
+	}
+	if idx, ok := r.colIdx[name]; ok {
+		return idx
+	}
+	idx := len(r.cols)
+	r.cols = append(r.cols, column{name: name})
+	r.colIdx[name] = idx
+	return idx
+}
+
 // Record appends one step's total package power.
 func (r *Recorder) Record(total float64) {
 	r.total = append(r.total, total)
 }
 
-// RecordComponent appends one step's power for a named component. Call
-// once per component per step when tracking is enabled.
-func (r *Recorder) RecordComponent(name string, p float64) {
-	if !r.track {
+// RecordN appends n identical total-power samples — the recorder half
+// of an adaptive stride.
+func (r *Recorder) RecordN(total float64, n int) {
+	for i := 0; i < n; i++ {
+		r.total = append(r.total, total)
+	}
+}
+
+// RecordColumn appends one step's sample to a registered column. Call
+// once per column per step when tracking is enabled; idx -1 (tracking
+// disabled) is a no-op.
+func (r *Recorder) RecordColumn(idx int, p float64) {
+	if idx < 0 {
 		return
 	}
-	r.byComp[name] = append(r.byComp[name], p)
+	c := &r.cols[idx]
+	c.samples = append(c.samples, p)
+}
+
+// RecordColumnN appends n identical samples to a registered column.
+func (r *Recorder) RecordColumnN(idx int, p float64, n int) {
+	if idx < 0 {
+		return
+	}
+	c := &r.cols[idx]
+	for i := 0; i < n; i++ {
+		c.samples = append(c.samples, p)
+	}
+}
+
+// RecordComponent appends one step's power for a named component — the
+// by-name convenience wrapper around Column/RecordColumn. Call once per
+// component per step when tracking is enabled.
+func (r *Recorder) RecordComponent(name string, p float64) {
+	r.RecordColumn(r.Column(name), p)
+}
+
+// Grow reserves capacity for n more steps in the total series and every
+// registered column, so a sized run appends without reallocating — the
+// preallocation the engine's zero-alloc steady-state guard relies on.
+func (r *Recorder) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if cap(r.total)-len(r.total) < n {
+		grown := make([]float64, len(r.total), len(r.total)+n)
+		copy(grown, r.total)
+		r.total = grown
+	}
+	for i := range r.cols {
+		c := &r.cols[i]
+		if cap(c.samples)-len(c.samples) < n {
+			grown := make([]float64, len(c.samples), len(c.samples)+n)
+			copy(grown, c.samples)
+			c.samples = grown
+		}
+	}
 }
 
 // Steps returns the number of recorded steps.
@@ -188,10 +268,11 @@ func (r *Recorder) ComponentSeries(name string, sampleEvery sim.Time) []Point {
 	if !r.track {
 		return nil
 	}
-	samples, ok := r.byComp[name]
+	idx, ok := r.colIdx[name]
 	if !ok {
 		return nil
 	}
+	samples := r.cols[idx].samples
 	k := int(sampleEvery / r.dt)
 	if k < 1 {
 		k = 1
@@ -208,21 +289,23 @@ func (r *Recorder) ComponentSeries(name string, sampleEvery sim.Time) []Point {
 	return out
 }
 
-// ComponentNames lists tracked components.
+// ComponentNames lists tracked components in registration order.
 func (r *Recorder) ComponentNames() []string {
-	names := make([]string, 0, len(r.byComp))
-	for n := range r.byComp {
-		names = append(names, n)
+	names := make([]string, 0, len(r.cols))
+	for _, c := range r.cols {
+		names = append(names, c.name)
 	}
 	return names
 }
 
-// Reset clears all samples for reuse.
+// Reset clears all samples for reuse. Column registrations and every
+// backing array's capacity are kept, so a warmed-up recorder records
+// the next run without allocating.
 func (r *Recorder) Reset() {
 	r.total = r.total[:0]
 	r.prefix = r.prefix[:0]
 	r.prefixN = 0
-	if r.track {
-		r.byComp = make(map[string][]float64)
+	for i := range r.cols {
+		r.cols[i].samples = r.cols[i].samples[:0]
 	}
 }

@@ -114,6 +114,62 @@ func (s *Sensor) Push(p float64) {
 	s.filt += alpha * (delayed - s.filt)
 }
 
+// SteadyAt reports whether pushing the sample p would leave the sensor
+// bitwise unchanged: the delay ring is already flat at p and the filter
+// state is at its exact floating-point fixed point for input p. While
+// this holds, Push(p) is a pure rotation and Read() is constant — the
+// condition the adaptive engine needs when a controller reads the
+// sensor during a stride.
+func (s *Sensor) SteadyAt(p float64) bool {
+	if !s.DelaySteadyAt(p) {
+		return false
+	}
+	if s.cfg.FilterTau <= 0 {
+		return s.filt == p
+	}
+	// The EWMA must have converged bitwise: one more update, computed
+	// exactly as Push computes it, rounds back to the same float.
+	alpha := float64(s.dt) / float64(s.cfg.FilterTau+s.dt)
+	return s.filt+alpha*(p-s.filt) == s.filt
+}
+
+// DelaySteadyAt reports whether the delay ring is already flat at p (and
+// the pipeline primed), so n pushes of p are exactly reproduced by
+// AdvanceN(p, n) — the filter may still be converging. Sufficient for
+// striding when nothing reads the sensor mid-stride (no global
+// controller); SteadyAt is the stronger condition for when Read() must
+// stay constant.
+func (s *Sensor) DelaySteadyAt(p float64) bool {
+	if !s.primed {
+		return false
+	}
+	for _, v := range s.ring {
+		if v != p {
+			return false
+		}
+	}
+	return true
+}
+
+// AdvanceN replays n pushes of the steady sample p established by a
+// true DelaySteadyAt: each push stores the value already present,
+// rotates the head, and applies the filter update with the identical
+// operations Push performs, so sensor state is bitwise what n real
+// pushes would have produced. Once the filter has converged the updates
+// round back to the same float and the replay degenerates to a pure
+// rotation.
+func (s *Sensor) AdvanceN(p float64, n int64) {
+	s.head = int((int64(s.head) + n) % int64(len(s.ring)))
+	if s.cfg.FilterTau <= 0 {
+		s.filt = p
+		return
+	}
+	alpha := float64(s.dt) / float64(s.cfg.FilterTau+s.dt)
+	for i := int64(0); i < n; i++ {
+		s.filt += alpha * (p - s.filt)
+	}
+}
+
 // Read returns the current delayed, filtered power measurement, with
 // any injected fault applied.
 func (s *Sensor) Read() float64 {

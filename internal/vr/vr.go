@@ -162,6 +162,15 @@ func (r *Regulator) Commanded() float64 {
 	return r.target
 }
 
+// Settled reports whether Step has become a pure no-op: no command is
+// in flight and the output sits exactly on the target. The adaptive
+// engine strides over settled regulators; any Command (even to the same
+// voltage) re-arms the transition timer and unsettles the regulator
+// until it lands again.
+func (r *Regulator) Settled() bool {
+	return r.pendingT < 0 && r.out == r.target
+}
+
 // Config returns the regulator's configuration.
 func (r *Regulator) Config() RegulatorConfig { return r.cfg }
 

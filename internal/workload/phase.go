@@ -235,6 +235,65 @@ func (c *Cursor) Step(dt sim.Time, f, fmax float64) StepOutcome {
 	return out
 }
 
+// steadyMargin is how many steps SteadySteps holds back from a
+// float-derived event bound. The phase-boundary estimate divides the
+// remaining work by the per-step retirement, while the replay subtracts
+// the per-step amount repeatedly; the two drift apart by at most a few
+// ulps per step (≪ 1 step over any realistic phase), so a fixed margin
+// of whole steps keeps the stride strictly inside the phase.
+const steadyMargin = 8
+
+// SteadySteps reports how many consecutive Step(dt, f, fmax) calls are
+// guaranteed to stay inside the current phase and return bitwise
+// identical outcomes, along with the per-step Instr and Activity those
+// steps produce — computed operation-for-operation as Step computes
+// them. Zero means the next step may cross a phase boundary (or the
+// cursor is too close to one to stride safely). The f ≤ 0 and
+// stalled-phase cases mutate nothing and are steady indefinitely.
+func (c *Cursor) SteadySteps(dt sim.Time, f, fmax float64) (n int64, instr, act float64) {
+	dtSec := sim.Seconds(dt)
+	if f <= 0 {
+		return 1 << 62, 0, c.Phase().StallAct
+	}
+	p := c.trace.Phases[c.idx]
+	ips := p.IPS(f, fmax)
+	if ips <= 0 {
+		return 1 << 62, 0, (p.StallAct * dtSec) / dtSec
+	}
+	done := ips * dtSec
+	act = (p.EffActivity(f, fmax) * dtSec) / dtSec
+	if c.remaining/ips <= dtSec {
+		return 0, done, act
+	}
+	n = int64(c.remaining/done) - steadyMargin
+	if n < 0 {
+		n = 0
+	}
+	return n, done, act
+}
+
+// AdvanceSteady replays n in-phase steps at frequency f: the identical
+// per-step subtraction Step performs, without boundary handling. The
+// caller must bound n by SteadySteps so no replayed step could have
+// crossed a phase boundary.
+func (c *Cursor) AdvanceSteady(n int64, dt sim.Time, f, fmax float64) {
+	if f <= 0 {
+		return
+	}
+	p := c.trace.Phases[c.idx]
+	ips := p.IPS(f, fmax)
+	if ips <= 0 {
+		return
+	}
+	done := ips * sim.Seconds(dt)
+	for i := int64(0); i < n; i++ {
+		c.remaining -= done
+	}
+}
+
+// Remaining returns the instructions left in the current phase.
+func (c *Cursor) Remaining() float64 { return c.remaining }
+
 func (c *Cursor) advance() {
 	c.idx = (c.idx + 1) % len(c.trace.Phases)
 	c.remaining = c.trace.Phases[c.idx].Instr

@@ -40,6 +40,17 @@ go test -run TestFaultInjectionStepOverhead -count=1 ./internal/sched
 go test -run TestTracingStepOverhead -count=1 ./internal/tracing
 go test -run TestRunnerParallelSpeedup -count=1 ./internal/experiment
 
+# Hot-path bench gate: the adaptive speedup test enforces the headline
+# contracts (≥5× adaptive speedup on the Fig. 5 workload, zero
+# allocations per steady-state step, bitwise-identical traces) and
+# emits the measured numbers as BENCH_step.json. The sched-package
+# zero-alloc guard re-checks the fully tracked step loop directly.
+echo "== hot-path bench gate (no race) =="
+HCAPP_BENCH_JSON="$PWD/BENCH_step.json" go test -run TestAdaptiveSpeedupGate -count=1 .
+go test -run TestStepSteadyStateZeroAllocs -count=1 ./internal/sched
+echo "bench artifact:"
+cat BENCH_step.json
+
 # Parallel determinism: the suite sharded across 4 workers must emit
 # byte-identical output to a sequential run of the same binary. The
 # energy experiment rides along so the attribution ledger is held to the
@@ -52,6 +63,21 @@ go build -o "$tmp/hcappsim" ./cmd/hcappsim
 "$tmp/hcappsim" -experiment fig4,fig5,fig10,energy -dur 1 -workers 4 >"$tmp/par.out"
 diff -u "$tmp/seq.out" "$tmp/par.out"
 echo "parallel output identical"
+
+# Adaptive determinism: striding through steady-state regions is an
+# execution detail, never a model change — the ENTIRE experiment
+# registry (plus the seed sweep, which "all" excludes for cost) must
+# emit byte-identical output with -adaptive on. The registry runs at a
+# 2 ms horizon because the "checks" shape suite needs burst statistics
+# a 1 ms run cannot provide.
+echo "== adaptive determinism diff (full registry + seeds) =="
+"$tmp/hcappsim" -experiment all -dur 2 -workers 1 >"$tmp/all-fixed.out"
+"$tmp/hcappsim" -experiment all -dur 2 -workers 1 -adaptive >"$tmp/all-adaptive.out"
+diff -u "$tmp/all-fixed.out" "$tmp/all-adaptive.out"
+"$tmp/hcappsim" -experiment seeds -dur 1 -workers 1 >"$tmp/seeds-fixed.out"
+"$tmp/hcappsim" -experiment seeds -dur 1 -workers 1 -adaptive >"$tmp/seeds-adaptive.out"
+diff -u "$tmp/seeds-fixed.out" "$tmp/seeds-adaptive.out"
+echo "adaptive output identical across every experiment id"
 
 # Fleet determinism: the same suite executed on a coordinator with two
 # workers must diff clean against the sequential standalone output, with
